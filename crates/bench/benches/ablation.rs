@@ -1,0 +1,45 @@
+//! Criterion wrapper for the ablation study: the paper's running example analysed with
+//! individual inference features switched off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tnt_infer::{analyze_source, InferOptions};
+
+const FOO: &str = "void foo(int x, int y) { if (x < 0) { return; } else { foo(x + y, y); } }";
+
+fn ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    let configs = [
+        ("full", InferOptions::default()),
+        (
+            "no-case-split",
+            InferOptions {
+                enable_case_split: false,
+                ..InferOptions::default()
+            },
+        ),
+        (
+            "no-base-case",
+            InferOptions {
+                enable_base_case: false,
+                ..InferOptions::default()
+            },
+        ),
+        (
+            "no-lexicographic",
+            InferOptions {
+                lexicographic: false,
+                ..InferOptions::default()
+            },
+        ),
+    ];
+    for (name, options) in configs {
+        group.bench_with_input(BenchmarkId::new("foo", name), &options, |b, options| {
+            b.iter(|| analyze_source(FOO, options))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Ablation study over the design choices of the inference engine:
+//! abductive case splitting, semantic base-case inference and lexicographic measures.
+
+use tnt_baselines::{Analyzer, HipTntPlus};
+use tnt_bench::Table;
+use tnt_infer::InferOptions;
+
+fn main() {
+    let suites = vec![tnt_suite::crafted(), tnt_suite::crafted_lit()];
+    let full = HipTntPlus::default();
+    let no_split = HipTntPlus {
+        options: InferOptions {
+            enable_case_split: false,
+            ..InferOptions::default()
+        },
+    };
+    let no_base = HipTntPlus {
+        options: InferOptions {
+            enable_base_case: false,
+            ..InferOptions::default()
+        },
+    };
+    let no_lex = HipTntPlus {
+        options: InferOptions {
+            lexicographic: false,
+            ..InferOptions::default()
+        },
+    };
+    struct Named<'a>(&'static str, &'a HipTntPlus);
+    impl Analyzer for Named<'_> {
+        fn name(&self) -> &'static str {
+            self.0
+        }
+        fn run(&self, source: &str) -> tnt_baselines::ToolRun {
+            self.1.run(source)
+        }
+    }
+    let full = Named("full", &full);
+    let no_split = Named("no case-split", &no_split);
+    let no_base = Named("no base-case", &no_base);
+    let no_lex = Named("no lexicographic", &no_lex);
+    let tools: Vec<&dyn Analyzer> = vec![&full, &no_split, &no_base, &no_lex];
+    let table = Table::build(&tools, &suites);
+    println!(
+        "{}",
+        table.render("Ablation: feature switches of the inference engine")
+    );
+}

@@ -1,0 +1,24 @@
+//! Regenerates Figure 10: termination outcomes on the SV-COMP'15-like benchmark
+//! suites for the AProVE/ULTIMATE capability profiles and HIPTNT+.
+
+use tnt_baselines::{Alternation, Analyzer, HipTntPlus, TermOnly};
+use tnt_bench::Table;
+
+fn main() {
+    let suites = tnt_suite::svcomp_suites();
+    let aprove = TermOnly::default();
+    let ultimate = Alternation::default();
+    let hiptnt = HipTntPlus::default();
+    let tools: Vec<&dyn Analyzer> = vec![&aprove, &ultimate, &hiptnt];
+    let table = Table::build(&tools, &suites);
+    println!(
+        "{}",
+        table.render("Figure 10: Termination outcomes on SV-COMP'15-like benchmarks")
+    );
+    if std::env::args().any(|a| a == "--json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&table).expect("serialisable")
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! Regenerates Figure 11: the comparison with the T2 capability profile on
+//! loop-based integer programs.
+
+use tnt_baselines::{Analyzer, HipTntPlus, IntegerLoopOnly};
+use tnt_bench::Table;
+
+fn main() {
+    let suites = vec![tnt_suite::integer_loops()];
+    let t2 = IntegerLoopOnly::default();
+    let hiptnt = HipTntPlus::default();
+    let tools: Vec<&dyn Analyzer> = vec![&t2, &hiptnt];
+    let table = Table::build(&tools, &suites);
+    println!("{}", table.render("Figure 11: Loop-based integer programs"));
+    if std::env::args().any(|a| a == "--json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&table).expect("serialisable")
+        );
+    }
+}

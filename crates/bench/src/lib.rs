@@ -1,0 +1,188 @@
+//! # tnt-bench
+//!
+//! The benchmark harness that regenerates the paper's evaluation tables:
+//!
+//! * **Figure 10** — termination outcomes on the four SV-COMP-like suites
+//!   (`cargo run -p tnt-bench --bin fig10 --release`),
+//! * **Figure 11** — the loop-based integer-program comparison
+//!   (`cargo run -p tnt-bench --bin fig11 --release`),
+//! * the **ablation study** over the design choices called out in `DESIGN.md`
+//!   (`cargo run -p tnt-bench --bin ablation --release`).
+//!
+//! Each run prints the table in the paper's row/column format and cross-checks every
+//! answer against the corpus ground truth (a sound tool never answers `Y` on a
+//! non-terminating program or `N` on a terminating one).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use tnt_baselines::{Analyzer, Answer};
+use tnt_suite::{Expected, Suite};
+
+/// The per-suite outcome counts of one tool (one cell group of Fig. 10/11).
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct Row {
+    /// Termination proven.
+    pub yes: usize,
+    /// Non-termination proven.
+    pub no: usize,
+    /// Unknown.
+    pub unknown: usize,
+    /// Budget exhausted ("timeout").
+    pub timeout: usize,
+    /// Total wall-clock seconds (excluding timeouts, as in the paper).
+    pub time: f64,
+    /// Unsound answers detected against the ground truth (must be zero).
+    pub unsound: usize,
+}
+
+impl Row {
+    /// Total number of programs.
+    pub fn total(&self) -> usize {
+        self.yes + self.no + self.unknown + self.timeout
+    }
+
+    /// Accumulates one program's outcome.
+    pub fn record(&mut self, answer: Answer, elapsed: f64, expected: Expected) {
+        match answer {
+            Answer::Yes => self.yes += 1,
+            Answer::No => self.no += 1,
+            Answer::Unknown => self.unknown += 1,
+            Answer::Timeout => self.timeout += 1,
+        }
+        if answer != Answer::Timeout {
+            self.time += elapsed;
+        }
+        let unsound = matches!(
+            (answer, expected),
+            (Answer::Yes, Expected::NonTerminating) | (Answer::No, Expected::Terminating)
+        );
+        if unsound {
+            self.unsound += 1;
+        }
+    }
+}
+
+/// Runs one tool over one suite.
+pub fn run_suite(tool: &dyn Analyzer, suite: &Suite) -> Row {
+    let mut row = Row::default();
+    for program in &suite.programs {
+        let outcome = tool.run(&program.source);
+        row.record(outcome.answer, outcome.elapsed, program.expected);
+    }
+    row
+}
+
+/// A complete table: per tool, a row per suite (plus a computed total row).
+#[derive(Clone, Debug, Serialize)]
+pub struct Table {
+    /// Suite names, in column order.
+    pub suites: Vec<String>,
+    /// `(tool name, per-suite rows)` in row order.
+    pub rows: Vec<(String, Vec<Row>)>,
+}
+
+impl Table {
+    /// Runs every tool over every suite.
+    pub fn build(tools: &[&dyn Analyzer], suites: &[Suite]) -> Table {
+        let rows = tools
+            .iter()
+            .map(|tool| {
+                let per_suite = suites.iter().map(|s| run_suite(*tool, s)).collect();
+                (tool.name().to_string(), per_suite)
+            })
+            .collect();
+        Table {
+            suites: suites
+                .iter()
+                .map(|s| s.category.name().to_string())
+                .collect(),
+            rows,
+        }
+    }
+
+    /// The total row of a tool (summing over suites).
+    pub fn totals(rows: &[Row]) -> Row {
+        let mut total = Row::default();
+        for r in rows {
+            total.yes += r.yes;
+            total.no += r.no;
+            total.unknown += r.unknown;
+            total.timeout += r.timeout;
+            total.time += r.time;
+            total.unsound += r.unsound;
+        }
+        total
+    }
+
+    /// Renders the table in the paper's `Y N U T/O Time` format.
+    pub fn render(&self, title: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {title} ==");
+        let _ = write!(out, "{:<18}", "Tool");
+        for suite in &self.suites {
+            let _ = write!(out, "| {:<30}", suite);
+        }
+        let _ = writeln!(out, "| {:<30}", "Total");
+        let _ = write!(out, "{:<18}", "");
+        for _ in 0..=self.suites.len() {
+            let _ = write!(
+                out,
+                "| {:>4} {:>4} {:>4} {:>4} {:>9}",
+                "Y", "N", "U", "T/O", "Time(s)"
+            );
+        }
+        let _ = writeln!(out);
+        for (tool, rows) in &self.rows {
+            let _ = write!(out, "{tool:<18}");
+            for row in rows {
+                let _ = write!(
+                    out,
+                    "| {:>4} {:>4} {:>4} {:>4} {:>9.2}",
+                    row.yes, row.no, row.unknown, row.timeout, row.time
+                );
+            }
+            let total = Table::totals(rows);
+            let _ = writeln!(
+                out,
+                "| {:>4} {:>4} {:>4} {:>4} {:>9.2}",
+                total.yes, total.no, total.unknown, total.timeout, total.time
+            );
+        }
+        let unsound: usize = self
+            .rows
+            .iter()
+            .map(|(_, rows)| Table::totals(rows).unsound)
+            .sum();
+        let _ = writeln!(out, "(unsound answers across all tools: {unsound})");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_accounting() {
+        let mut row = Row::default();
+        row.record(Answer::Yes, 0.5, Expected::Terminating);
+        row.record(Answer::No, 0.25, Expected::NonTerminating);
+        row.record(Answer::Unknown, 0.25, Expected::Terminating);
+        row.record(Answer::Timeout, 100.0, Expected::Terminating);
+        assert_eq!(row.total(), 4);
+        assert_eq!((row.yes, row.no, row.unknown, row.timeout), (1, 1, 1, 1));
+        assert!((row.time - 1.0).abs() < 1e-9);
+        assert_eq!(row.unsound, 0);
+    }
+
+    #[test]
+    fn unsound_answers_are_flagged() {
+        let mut row = Row::default();
+        row.record(Answer::Yes, 0.1, Expected::NonTerminating);
+        row.record(Answer::No, 0.1, Expected::Terminating);
+        assert_eq!(row.unsound, 2);
+    }
+}

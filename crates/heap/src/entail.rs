@@ -1,0 +1,476 @@
+//! Root-directed heap entailment / consumption.
+//!
+//! At a method call the verifier must establish the callee's heap precondition from the
+//! caller's current symbolic heap, consuming the matched atoms (the rest is the frame)
+//! and instantiating the callee's ghost variables. For the paper's `append` example the
+//! recursive call `append(x.next, y)` consumes `lseg(p, null, n − 1)` against the
+//! required `lseg(x′, null, n′)`, binding `n′ ↦ n − 1` — exactly the numeric fact the
+//! termination analysis needs to synthesise the ranking function `[n]`.
+//!
+//! The procedure is a bounded proof search: atoms are matched root-first; when a
+//! required atom has no direct match, predicate instances in the current heap whose
+//! root provably equals the required root are unfolded (up to a small depth) and each
+//! resulting case is explored. All argument equalities are discharged by the arithmetic
+//! entailment of `tnt-logic` under the caller's pure state.
+
+use crate::defs::PredTable;
+use crate::state::{HeapAtom, HeapState};
+use std::collections::{BTreeMap, BTreeSet};
+use tnt_logic::{entail, Constraint, Formula, Lin};
+
+/// The result of consuming a required heap from a symbolic state.
+#[derive(Clone, Debug)]
+pub struct ConsumeResult {
+    /// The atoms of the current heap that were *not* consumed (the frame).
+    pub frame: HeapState,
+    /// Instantiation of the required side's existential (ghost) variables.
+    pub bindings: BTreeMap<String, Lin>,
+    /// Additional pure facts assumed along the way (from unfolding case splits);
+    /// callers must conjoin these to the current pure state.
+    pub side_pure: Formula,
+}
+
+/// Maximum number of unfolding steps per consumption query.
+const MAX_UNFOLD: usize = 3;
+
+/// Attempts to consume `required` (interpreted as a separating conjunction) from the
+/// symbolic heap `state` under the pure context `pure`.
+///
+/// `existentials` lists the required side's ghost variables, which the matcher may bind
+/// to arbitrary expressions of the caller; every other variable must match provably.
+///
+/// Returns every successful match (different unfolding cases can give different
+/// results); an empty vector means the entailment could not be established.
+pub fn consume(
+    state: &HeapState,
+    pure: &Formula,
+    required: &[HeapAtom],
+    existentials: &BTreeSet<String>,
+    table: &PredTable,
+    fresh: &mut impl FnMut() -> String,
+) -> Vec<ConsumeResult> {
+    consume_with_budget(
+        state,
+        pure,
+        required,
+        existentials,
+        table,
+        fresh,
+        MAX_UNFOLD,
+    )
+}
+
+fn consume_with_budget(
+    state: &HeapState,
+    pure: &Formula,
+    required: &[HeapAtom],
+    existentials: &BTreeSet<String>,
+    table: &PredTable,
+    fresh: &mut impl FnMut() -> String,
+    budget: usize,
+) -> Vec<ConsumeResult> {
+    let mut results = Vec::new();
+    search(
+        state.clone(),
+        pure.clone(),
+        required.to_vec(),
+        BTreeMap::new(),
+        Formula::True,
+        existentials,
+        table,
+        fresh,
+        budget,
+        &mut results,
+    );
+    results
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search(
+    state: HeapState,
+    pure: Formula,
+    required: Vec<HeapAtom>,
+    bindings: BTreeMap<String, Lin>,
+    side_pure: Formula,
+    existentials: &BTreeSet<String>,
+    table: &PredTable,
+    fresh: &mut impl FnMut() -> String,
+    unfold_budget: usize,
+    results: &mut Vec<ConsumeResult>,
+) {
+    let Some((goal, rest)) = required.split_first() else {
+        results.push(ConsumeResult {
+            frame: state,
+            bindings,
+            side_pure,
+        });
+        return;
+    };
+    let goal = apply_bindings(goal, &bindings);
+
+    // 1. Direct matches against atoms already in the heap.
+    for (index, candidate) in state.atoms.iter().enumerate() {
+        if let Some(new_bindings) = unify(candidate, &goal, &pure, existentials, &bindings) {
+            let mut remaining = state.clone();
+            remaining.take(index);
+            search(
+                remaining,
+                pure.clone(),
+                rest.to_vec(),
+                new_bindings,
+                side_pure.clone(),
+                existentials,
+                table,
+                fresh,
+                unfold_budget,
+                results,
+            );
+            if !results.is_empty() {
+                // One witness per query suffices for the verifier; keep the search cheap.
+                return;
+            }
+        }
+    }
+
+    if unfold_budget == 0 {
+        return;
+    }
+
+    // 2. Apply a lemma left-to-right: consume its LHS from the heap (with the lemma's
+    //    variables as existentials), replace by its RHS, and retry.
+    for lemma in table.lemmas() {
+        let lemma_existentials: BTreeSet<String> = lemma.params.iter().cloned().collect();
+        let lhs_matches = consume_with_budget(
+            &state,
+            &pure,
+            &lemma.lhs_atoms,
+            &lemma_existentials,
+            table,
+            fresh,
+            unfold_budget - 1,
+        );
+        for m in lhs_matches {
+            // Instantiate the lemma's variables; unbound ones become fresh.
+            let mut binding = m.bindings.clone();
+            for p in &lemma.params {
+                binding
+                    .entry(p.clone())
+                    .or_insert_with(|| Lin::var(fresh()));
+            }
+            let instantiate_pure = |f: &Formula| {
+                let mut out = f.clone();
+                for (v, by) in &binding {
+                    out = out.substitute(v, by);
+                }
+                out
+            };
+            let lhs_pure = instantiate_pure(&lemma.lhs_pure);
+            if !entail::entails(&pure, &lhs_pure) {
+                continue;
+            }
+            let mut new_state = m.frame.clone();
+            for atom in &lemma.rhs_atoms {
+                let mut instantiated = atom.clone();
+                for (v, by) in &binding {
+                    instantiated = instantiated.substitute(v, by);
+                }
+                new_state.push(instantiated);
+            }
+            let rhs_pure = instantiate_pure(&lemma.rhs_pure);
+            search(
+                new_state,
+                pure.clone().and2(rhs_pure.clone()),
+                required.clone(),
+                bindings.clone(),
+                side_pure.clone().and2(m.side_pure.clone()).and2(rhs_pure),
+                existentials,
+                table,
+                fresh,
+                unfold_budget - 1,
+                results,
+            );
+            if !results.is_empty() {
+                return;
+            }
+        }
+    }
+
+    // 3. Unfold a predicate instance whose root provably equals the goal's root.
+    let goal_root = goal.root();
+    for (index, candidate) in state.atoms.iter().enumerate() {
+        let HeapAtom::Pred { .. } = candidate else {
+            continue;
+        };
+        if !roots_equal(&candidate.root(), &goal_root, &pure) {
+            continue;
+        }
+        let mut remaining = state.clone();
+        let taken = remaining.take(index);
+        for (branch_atoms, branch_pure) in table.unfold(&taken, fresh) {
+            let case_pure = pure.clone().and2(branch_pure.clone());
+            if !tnt_logic::sat::is_sat(&case_pure) {
+                continue;
+            }
+            let mut case_state = remaining.clone();
+            for a in branch_atoms {
+                case_state.push(a);
+            }
+            search(
+                case_state,
+                case_pure,
+                required.clone(),
+                bindings.clone(),
+                side_pure.clone().and2(branch_pure),
+                existentials,
+                table,
+                fresh,
+                unfold_budget - 1,
+                results,
+            );
+            if !results.is_empty() {
+                return;
+            }
+        }
+    }
+}
+
+fn apply_bindings(atom: &HeapAtom, bindings: &BTreeMap<String, Lin>) -> HeapAtom {
+    let mut out = atom.clone();
+    for (var, by) in bindings {
+        out = out.substitute(var, by);
+    }
+    out
+}
+
+fn roots_equal(a: &Lin, b: &Lin, pure: &Formula) -> bool {
+    a == b || entail::entails(pure, &Constraint::eq(a.clone(), b.clone()).into())
+}
+
+/// Tries to unify a heap atom of the current state with a required atom, extending the
+/// bindings of the required side's existential variables.
+fn unify(
+    candidate: &HeapAtom,
+    goal: &HeapAtom,
+    pure: &Formula,
+    existentials: &BTreeSet<String>,
+    bindings: &BTreeMap<String, Lin>,
+) -> Option<BTreeMap<String, Lin>> {
+    let (candidate_args, goal_args) = match (candidate, goal) {
+        (
+            HeapAtom::Pred { name: a, args },
+            HeapAtom::Pred {
+                name: b,
+                args: goal_args,
+            },
+        ) if a == b && args.len() == goal_args.len() => (args.clone(), goal_args.clone()),
+        (
+            HeapAtom::PointsTo {
+                root: ra,
+                data: da,
+                fields: fa,
+            },
+            HeapAtom::PointsTo {
+                root: rb,
+                data: db,
+                fields: fb,
+            },
+        ) if da == db && fa.len() == fb.len() => {
+            let mut a = vec![ra.clone()];
+            a.extend(fa.clone());
+            let mut b = vec![rb.clone()];
+            b.extend(fb.clone());
+            (a, b)
+        }
+        _ => return None,
+    };
+    let mut bindings = bindings.clone();
+    for (have, want) in candidate_args.iter().zip(&goal_args) {
+        let want = {
+            let mut w = want.clone();
+            for (var, by) in &bindings {
+                w = w.substitute(var, by);
+            }
+            w
+        };
+        // An unbound existential variable on the required side binds to the caller's value.
+        let want_vars: Vec<&str> = want.vars().collect();
+        if want_vars.len() == 1
+            && existentials.contains(want_vars[0])
+            && !bindings.contains_key(want_vars[0])
+            && want == Lin::var(want_vars[0])
+        {
+            bindings.insert(want_vars[0].to_string(), have.clone());
+            continue;
+        }
+        // Otherwise the equality must be provable under the pure context.
+        if !entail::entails(pure, &Constraint::eq(have.clone(), want.clone()).into()) {
+            return None;
+        }
+    }
+    Some(bindings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnt_lang::parse_program;
+    use tnt_logic::{num, var};
+
+    const LIST_DEFS: &str = r#"
+        data node { node next; }
+        pred lseg(root, q, n) == root = q & n = 0
+           or root -> node(p) * lseg(p, q, n - 1);
+        pred cll(root, n) == root -> node(p) * lseg(p, root, n - 1);
+    "#;
+
+    fn table() -> PredTable {
+        PredTable::from_program(&parse_program(LIST_DEFS).unwrap()).unwrap()
+    }
+
+    fn fresh_counter() -> impl FnMut() -> String {
+        let mut counter = 0;
+        move || {
+            counter += 1;
+            format!("fr{counter}")
+        }
+    }
+
+    #[test]
+    fn direct_match_binds_ghost_size() {
+        // State: lseg(p, null, n - 1); required: lseg(p, null, m) with ghost m.
+        let state = HeapState::new(vec![HeapAtom::pred(
+            "lseg",
+            vec![
+                var("p"),
+                num(0),
+                var("n").add_const(tnt_logic::Rational::from(-1)),
+            ],
+        )]);
+        let required = vec![HeapAtom::pred("lseg", vec![var("p"), num(0), var("m")])];
+        let existentials: BTreeSet<String> = ["m".to_string()].into_iter().collect();
+        let results = consume(
+            &state,
+            &Formula::True,
+            &required,
+            &existentials,
+            &table(),
+            &mut fresh_counter(),
+        );
+        assert_eq!(results.len(), 1);
+        let binding = &results[0].bindings["m"];
+        assert_eq!(binding.coeff("n"), tnt_logic::Rational::one());
+        assert_eq!(binding.constant_term(), tnt_logic::Rational::from(-1));
+        assert!(results[0].frame.is_emp());
+    }
+
+    #[test]
+    fn mismatched_arguments_fail() {
+        // State: lseg(p, x, k); required: lseg(p, null, m) — the middle argument differs.
+        let state = HeapState::new(vec![HeapAtom::pred(
+            "lseg",
+            vec![var("p"), var("x"), var("k")],
+        )]);
+        let required = vec![HeapAtom::pred("lseg", vec![var("p"), num(0), var("m")])];
+        let existentials: BTreeSet<String> = ["m".to_string()].into_iter().collect();
+        let pure: Formula = Constraint::ge(var("x"), num(1)).into(); // x != null
+        let results = consume(
+            &state,
+            &pure,
+            &required,
+            &existentials,
+            &table(),
+            &mut fresh_counter(),
+        );
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn match_through_provable_equality() {
+        // State: lseg(t, null, k) with pure t = p; required: lseg(p, null, m).
+        let state = HeapState::new(vec![HeapAtom::pred(
+            "lseg",
+            vec![var("t"), num(0), var("k")],
+        )]);
+        let pure: Formula = Constraint::eq(var("t"), var("p")).into();
+        let required = vec![HeapAtom::pred("lseg", vec![var("p"), num(0), var("m")])];
+        let existentials: BTreeSet<String> = ["m".to_string()].into_iter().collect();
+        let results = consume(
+            &state,
+            &pure,
+            &required,
+            &existentials,
+            &table(),
+            &mut fresh_counter(),
+        );
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].bindings["m"], var("k"));
+    }
+
+    #[test]
+    fn unfolding_exposes_points_to() {
+        // State: lseg(x, null, n) with x != null; required: x -> node(w) with ghost w.
+        let state = HeapState::new(vec![HeapAtom::pred(
+            "lseg",
+            vec![var("x"), num(0), var("n")],
+        )]);
+        let pure: Formula = Constraint::ge(var("x"), num(1)).into();
+        let required = vec![HeapAtom::points_to(var("x"), "node", vec![var("w")])];
+        let existentials: BTreeSet<String> = ["w".to_string()].into_iter().collect();
+        let results = consume(
+            &state,
+            &pure,
+            &required,
+            &existentials,
+            &table(),
+            &mut fresh_counter(),
+        );
+        assert_eq!(results.len(), 1);
+        // The frame keeps the tail segment.
+        assert_eq!(results[0].frame.atoms.len(), 1);
+        match &results[0].frame.atoms[0] {
+            HeapAtom::Pred { name, .. } => assert_eq!(name, "lseg"),
+            other => panic!("unexpected {other:?}"),
+        }
+        // The ghost field value is bound to the fresh tail pointer.
+        assert!(results[0].bindings.contains_key("w"));
+    }
+
+    #[test]
+    fn points_to_frame_is_preserved() {
+        let state = HeapState::new(vec![
+            HeapAtom::points_to(var("a"), "node", vec![var("b")]),
+            HeapAtom::pred("lseg", vec![var("b"), num(0), var("n")]),
+        ]);
+        let required = vec![HeapAtom::pred("lseg", vec![var("b"), num(0), var("m")])];
+        let existentials: BTreeSet<String> = ["m".to_string()].into_iter().collect();
+        let results = consume(
+            &state,
+            &Formula::True,
+            &required,
+            &existentials,
+            &table(),
+            &mut fresh_counter(),
+        );
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].frame.atoms.len(), 1);
+        assert!(matches!(
+            results[0].frame.atoms[0],
+            HeapAtom::PointsTo { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_requirement_succeeds_with_full_frame() {
+        let state = HeapState::new(vec![HeapAtom::points_to(var("a"), "node", vec![num(0)])]);
+        let results = consume(
+            &state,
+            &Formula::True,
+            &[],
+            &BTreeSet::new(),
+            &table(),
+            &mut fresh_counter(),
+        );
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].frame.atoms.len(), 1);
+    }
+}

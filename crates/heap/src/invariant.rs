@@ -1,0 +1,239 @@
+//! Pure invariants of inductive heap predicates.
+//!
+//! The paper delegates heap reasoning to its existing verification substrate ([9], [31])
+//! which supplies the *pure consequences* of a heap predicate — e.g. that
+//! `lseg(root, q, n)` implies `n ≥ 0` and `root = q ∧ n = 0 ∨ root ≠ null`. The
+//! termination analysis only consumes these pure facts (sizes and null-ness), so this
+//! module reproduces that substrate with a bounded unfold-and-project computation plus
+//! an inductive lower-bound check for size-like parameters (see `DESIGN.md` §4):
+//!
+//! 1. Two rounds of "replace every nested predicate instance by its current invariant,
+//!    conjoin the points-to non-nullness axiom, project onto the parameters".
+//! 2. For each self-recursive predicate and numeric parameter `nᵢ`: if every base branch
+//!    entails `nᵢ ≥ 0` and every recursive branch passes `nᵢ − k` (k ≥ 0) to the nested
+//!    instance, then `nᵢ ≥ 0` holds inductively and is conjoined to the invariant.
+//!
+//! The result is an over-approximation of the predicate's models — the sound direction
+//! for the uses in the verifier (branch feasibility and ranking-function bounds are
+//! re-checked by the arithmetic layer).
+
+use crate::defs::{PredDef, PredTable};
+use crate::state::HeapAtom;
+use std::collections::{BTreeMap, BTreeSet};
+use tnt_logic::{entail, qe, simplify, Constraint, Formula, Lin, Rational};
+
+/// Pure invariants of every predicate in a table, keyed by predicate name and expressed
+/// over the predicate's formal parameters.
+#[derive(Clone, Debug, Default)]
+pub struct InvariantTable {
+    invariants: BTreeMap<String, Formula>,
+}
+
+impl InvariantTable {
+    /// Computes invariants for every predicate of the table.
+    pub fn compute(table: &PredTable, names: &[String]) -> InvariantTable {
+        // Inductive size lower bounds first: they seed the unfold-and-project rounds.
+        let bounds: BTreeMap<String, Formula> = names
+            .iter()
+            .filter_map(|n| table.def(n).map(|def| (n.clone(), size_lower_bounds(def))))
+            .collect();
+        let mut invariants: BTreeMap<String, Formula> = names
+            .iter()
+            .map(|n| (n.clone(), bounds.get(n).cloned().unwrap_or(Formula::True)))
+            .collect();
+        // Two rounds of unfold-and-project, re-conjoining the inductive bounds.
+        for _ in 0..2 {
+            let mut next = BTreeMap::new();
+            for name in names {
+                let Some(def) = table.def(name) else { continue };
+                let joined = branch_join(table, def, &invariants);
+                let bound = bounds.get(name).cloned().unwrap_or(Formula::True);
+                next.insert(name.clone(), simplify::simplify(&joined.and2(bound)));
+            }
+            invariants = next;
+        }
+        InvariantTable { invariants }
+    }
+
+    /// The invariant of a predicate over its formal parameters (`true` if unknown).
+    pub fn of(&self, name: &str) -> Formula {
+        self.invariants.get(name).cloned().unwrap_or(Formula::True)
+    }
+
+    /// The invariant of a predicate instance, instantiated with its actual arguments.
+    pub fn instance(&self, table: &PredTable, atom: &HeapAtom) -> Formula {
+        let HeapAtom::Pred { name, args } = atom else {
+            // A points-to fact implies its root is a valid (non-null) address.
+            return Constraint::ge(atom.root(), Lin::constant(Rational::one())).into();
+        };
+        let Some(def) = table.def(name) else {
+            return Formula::True;
+        };
+        let mut formula = self.of(name);
+        for (param, arg) in def.params.iter().zip(args) {
+            formula = formula.substitute(param, arg);
+        }
+        formula
+    }
+}
+
+/// One unfold-and-project round for a single predicate.
+fn branch_join(table: &PredTable, def: &PredDef, current: &BTreeMap<String, Formula>) -> Formula {
+    let params: BTreeSet<String> = def.params.iter().cloned().collect();
+    let mut disjuncts = Vec::new();
+    for branch in &def.branches {
+        let mut parts = vec![branch.pure.clone()];
+        for atom in &branch.atoms {
+            match atom {
+                HeapAtom::PointsTo { root, .. } => {
+                    parts.push(Constraint::ge(root.clone(), Lin::constant(Rational::one())).into());
+                }
+                HeapAtom::Pred { name, args } => {
+                    let inv = current.get(name).cloned().unwrap_or(Formula::True);
+                    let formals = table
+                        .def(name)
+                        .map(|d| d.params.clone())
+                        .unwrap_or_default();
+                    let mut instantiated = inv;
+                    // Substitute the nested predicate's formals by its actual arguments,
+                    // via temporaries to avoid clashes between formal and actual names.
+                    let temps: Vec<String> =
+                        (0..formals.len()).map(|i| format!("$inv{i}")).collect();
+                    for (formal, temp) in formals.iter().zip(&temps) {
+                        instantiated = instantiated.rename(formal, temp);
+                    }
+                    for (temp, arg) in temps.iter().zip(args) {
+                        instantiated = instantiated.substitute(temp, arg);
+                    }
+                    parts.push(instantiated);
+                }
+            }
+        }
+        let combined = Formula::and(parts);
+        disjuncts.push(qe::project(&combined, &params));
+    }
+    simplify::simplify(&Formula::or(disjuncts))
+}
+
+/// Inductive `param ≥ 0` bounds for size-like numeric parameters.
+fn size_lower_bounds(def: &PredDef) -> Formula {
+    let mut bounds = Vec::new();
+    'params: for (index, param) in def.params.iter().enumerate() {
+        if index == 0 {
+            continue; // the root pointer
+        }
+        let goal: Formula = Constraint::ge(Lin::var(param.clone()), Lin::zero()).into();
+        let mut has_recursive = false;
+        for branch in &def.branches {
+            let nested: Vec<&HeapAtom> = branch
+                .atoms
+                .iter()
+                .filter(|a| matches!(a, HeapAtom::Pred { name, .. } if *name == def.name))
+                .collect();
+            if nested.is_empty() {
+                // Base branch: must entail param >= 0.
+                if !entail::entails(&branch.pure, &goal) {
+                    continue 'params;
+                }
+            } else {
+                has_recursive = true;
+                // Recursive branch: the nested instance must receive param - k, k >= 0.
+                for atom in nested {
+                    let HeapAtom::Pred { args, .. } = atom else {
+                        unreachable!()
+                    };
+                    let Some(arg) = args.get(index) else {
+                        continue 'params;
+                    };
+                    let diff = Lin::var(param.clone()).sub(arg);
+                    // diff must be a non-negative constant.
+                    if !(diff.is_constant() && !diff.constant_term().is_negative()) {
+                        continue 'params;
+                    }
+                }
+            }
+        }
+        if has_recursive {
+            bounds.push(goal);
+        }
+    }
+    Formula::and(bounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::defs::PredTable;
+    use tnt_lang::parse_program;
+    use tnt_logic::{num, var};
+
+    const LIST_DEFS: &str = r#"
+        data node { node next; }
+        pred lseg(root, q, n) == root = q & n = 0
+           or root -> node(p) * lseg(p, q, n - 1);
+        pred cll(root, n) == root -> node(p) * lseg(p, root, n - 1);
+    "#;
+
+    fn tables() -> (PredTable, InvariantTable) {
+        let program = parse_program(LIST_DEFS).unwrap();
+        let table = PredTable::from_program(&program).unwrap();
+        let names = vec!["lseg".to_string(), "cll".to_string()];
+        let invariants = InvariantTable::compute(&table, &names);
+        (table, invariants)
+    }
+
+    #[test]
+    fn lseg_invariant_includes_size_nonnegativity() {
+        let (_, invariants) = tables();
+        let inv = invariants.of("lseg");
+        let n_nonneg: Formula = Constraint::ge(Lin::var("n"), Lin::zero()).into();
+        assert!(entail::entails(&inv, &n_nonneg));
+    }
+
+    #[test]
+    fn lseg_invariant_relates_root_and_size() {
+        let (_, invariants) = tables();
+        let inv = invariants.of("lseg");
+        // root = q and n > 0 together violate nothing in our over-approximation, but
+        // root = null (0), q = null and n = 0 must be allowed (the empty segment).
+        let empty = Formula::and(vec![
+            Constraint::eq(Lin::var("root"), Lin::zero()).into(),
+            Constraint::eq(Lin::var("q"), Lin::zero()).into(),
+            Constraint::eq(Lin::var("n"), Lin::zero()).into(),
+        ]);
+        assert!(tnt_logic::sat::is_sat(&empty.and2(inv.clone())));
+        // A segment with a negative size is impossible.
+        let negative = Formula::and(vec![inv, Constraint::lt(Lin::var("n"), Lin::zero()).into()]);
+        assert!(tnt_logic::sat::is_unsat(&negative));
+    }
+
+    #[test]
+    fn points_to_instance_implies_non_null() {
+        let (table, invariants) = tables();
+        let atom = HeapAtom::points_to(var("x"), "node", vec![num(0)]);
+        let inv = invariants.instance(&table, &atom);
+        let non_null: Formula = Constraint::ge(Lin::var("x"), num(1)).into();
+        assert!(entail::entails(&inv, &non_null));
+    }
+
+    #[test]
+    fn instance_substitutes_arguments() {
+        let (table, invariants) = tables();
+        let atom = HeapAtom::pred(
+            "lseg",
+            vec![var("p"), num(0), var("m").add_const(Rational::from(-1))],
+        );
+        let inv = invariants.instance(&table, &atom);
+        // m - 1 >= 0, i.e. m >= 1 must follow.
+        let m_pos: Formula = Constraint::ge(Lin::var("m"), num(1)).into();
+        assert!(entail::entails(&inv, &m_pos));
+    }
+
+    #[test]
+    fn unknown_predicate_has_true_invariant() {
+        let (table, invariants) = tables();
+        assert!(invariants.of("tree").is_true());
+        let atom = HeapAtom::pred("tree", vec![var("t")]);
+        assert!(invariants.instance(&table, &atom).is_true());
+    }
+}

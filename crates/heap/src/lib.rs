@@ -1,0 +1,55 @@
+//! # tnt-heap
+//!
+//! The separation-logic heap substrate of the HIPTNT+ reproduction.
+//!
+//! The paper (Sec. 2.1, Fig. 4) handles heap-manipulating programs by reasoning about
+//! user-defined inductive heap predicates (`lseg`, `cll`, …) *prior to* the termination
+//! analysis: heap reasoning supplies the numeric facts (list-segment sizes, base/step
+//! relations) on which the purely arithmetic termination/non-termination inference then
+//! operates.
+//!
+//! This crate provides exactly that substrate:
+//!
+//! * [`state`] — symbolic heaps: separating conjunctions of points-to facts and
+//!   predicate instances, with numeric arguments represented as affine expressions.
+//! * [`defs`] — a compiled table of the program's inductive predicate definitions with
+//!   unfolding (instantiating a branch with fresh existential variables).
+//! * [`entail`] — a root-directed, bounded-unfolding entailment/consumption procedure:
+//!   given the current symbolic heap and a required heap (a callee's precondition or a
+//!   method's postcondition), it consumes matching atoms, returns the frame, and emits
+//!   the pure constraints (argument bindings, e.g. `n′ = n − 1`) that make the match
+//!   succeed. These pure constraints are what the termination inference sees.
+//!
+//! # Example
+//!
+//! Unfolding `lseg(x, null, n)` under `x ≠ null` exposes the head cell and the tail
+//! segment of size `n − 1`:
+//!
+//! ```
+//! use tnt_heap::defs::PredTable;
+//! use tnt_heap::state::HeapAtom;
+//! use tnt_logic::{var, num};
+//!
+//! let program = tnt_lang::parse_program(r#"
+//!     data node { node next; }
+//!     pred lseg(root, q, n) == root = q & n = 0
+//!        or root -> node(p) * lseg(p, q, n - 1);
+//! "#).unwrap();
+//! let table = PredTable::from_program(&program).unwrap();
+//! let atom = HeapAtom::pred("lseg", vec![var("x"), num(0), var("n")]);
+//! let branches = table.unfold(&atom, &mut || "p1".to_string());
+//! assert_eq!(branches.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod defs;
+pub mod entail;
+pub mod invariant;
+pub mod state;
+
+pub use defs::PredTable;
+pub use entail::{consume, ConsumeResult};
+pub use invariant::InvariantTable;
+pub use state::{HeapAtom, HeapState};

@@ -1,0 +1,285 @@
+//! The top-level analyzer: parse → verify → solve → summarise, in one call.
+
+use crate::solve::{solve, validate, SolveOptions, SolveStats};
+use crate::summary::{summaries, MethodSummary, Verdict};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Instant;
+use tnt_lang::ast::Program;
+use tnt_verify::hoare::verify_program;
+
+/// Options of the end-to-end analysis (a thin wrapper over [`SolveOptions`], exposed so
+/// the ablation benchmarks can switch individual features off).
+#[derive(Clone, Copy, Debug)]
+pub struct InferOptions {
+    /// Maximum number of refinement iterations.
+    pub max_iterations: usize,
+    /// Semantic base-case inference (Sec. 5.1).
+    pub enable_base_case: bool,
+    /// Abductive case splitting (Sec. 5.6).
+    pub enable_case_split: bool,
+    /// Lexicographic ranking measures.
+    pub lexicographic: bool,
+    /// Maximum number of lexicographic components.
+    pub max_lex_components: usize,
+    /// Re-verify the inferred specifications (the paper's re-checking step).
+    pub validate: bool,
+}
+
+impl Default for InferOptions {
+    fn default() -> Self {
+        InferOptions {
+            max_iterations: 12,
+            enable_base_case: true,
+            enable_case_split: true,
+            lexicographic: true,
+            max_lex_components: 4,
+            validate: true,
+        }
+    }
+}
+
+impl InferOptions {
+    fn solve_options(&self) -> SolveOptions {
+        SolveOptions {
+            max_iterations: self.max_iterations,
+            enable_base_case: self.enable_base_case,
+            enable_case_split: self.enable_case_split,
+            lexicographic: self.lexicographic,
+            max_lex_components: self.max_lex_components,
+        }
+    }
+}
+
+/// An end-to-end analysis error (front-end, specification or verification failure).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InferError {
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for InferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "inference error: {}", self.message)
+    }
+}
+
+impl std::error::Error for InferError {}
+
+/// The result of analysing a program.
+#[derive(Clone, Debug)]
+pub struct AnalysisResult {
+    /// Summaries keyed by label (`method` or `method#scenario` for multi-scenario
+    /// specifications).
+    pub summaries: BTreeMap<String, MethodSummary>,
+    /// Solver statistics.
+    pub stats: SolveStats,
+    /// Whether the re-verification of the inferred specifications succeeded
+    /// (`true` when validation is disabled).
+    pub validated: bool,
+    /// Wall-clock time of the analysis in seconds.
+    pub elapsed: f64,
+}
+
+impl AnalysisResult {
+    /// The verdict for a given method: combines all of its scenarios
+    /// (every scenario terminating → terminating; any definitely non-terminating
+    /// scenario → non-terminating; otherwise unknown).
+    pub fn verdict(&self, method: &str) -> Verdict {
+        let mut verdicts = self
+            .summaries
+            .values()
+            .filter(|s| s.method == method)
+            .map(MethodSummary::verdict)
+            .peekable();
+        if verdicts.peek().is_none() {
+            return Verdict::Unknown;
+        }
+        let collected: Vec<Verdict> = verdicts.collect();
+        if collected.iter().any(|v| *v == Verdict::NonTerminating) {
+            Verdict::NonTerminating
+        } else if collected.iter().all(|v| *v == Verdict::Terminating) {
+            Verdict::Terminating
+        } else {
+            Verdict::Unknown
+        }
+    }
+
+    /// The verdict for the program's entry point (`main` if present, otherwise the
+    /// first analysed method), which is how the benchmark harness scores a program.
+    pub fn program_verdict(&self) -> Verdict {
+        if self.summaries.values().any(|s| s.method == "main") {
+            return self.verdict("main");
+        }
+        match self.summaries.values().next() {
+            Some(first) => {
+                let name = first.method.clone();
+                self.verdict(&name)
+            }
+            None => Verdict::Terminating, // no unknown scenarios at all
+        }
+    }
+}
+
+/// Analyses a parsed (and front-end processed) program.
+///
+/// # Errors
+///
+/// Returns an [`InferError`] when verification fails (e.g. a call to an undeclared
+/// method or a non-affine specification).
+pub fn analyze_program(
+    program: &Program,
+    options: &InferOptions,
+) -> Result<AnalysisResult, InferError> {
+    let start = Instant::now();
+    let analysis = verify_program(program).map_err(|e| InferError {
+        message: e.to_string(),
+    })?;
+    let (theta, stats) = solve(&analysis, &options.solve_options());
+    let validated = if options.validate {
+        validate(&analysis, &theta)
+    } else {
+        true
+    };
+    let mut summary_map = BTreeMap::new();
+    for summary in summaries(&analysis, &theta) {
+        let occupied = summary_map.contains_key(&summary.method);
+        let label = if occupied
+            || analysis
+                .methods
+                .contains_key(&format!("{}#{}", summary.method, summary.scenario_index))
+        {
+            format!("{}#{}", summary.method, summary.scenario_index)
+        } else {
+            summary.method.clone()
+        };
+        summary_map.insert(label, summary);
+    }
+    Ok(AnalysisResult {
+        summaries: summary_map,
+        stats,
+        validated,
+        elapsed: start.elapsed().as_secs_f64(),
+    })
+}
+
+/// Analyses source text: runs the full front-end (parse, type-check, desugar,
+/// normalise) followed by [`analyze_program`].
+///
+/// # Errors
+///
+/// Returns an [`InferError`] for parse/type errors as well as verification failures.
+pub fn analyze_source(source: &str, options: &InferOptions) -> Result<AnalysisResult, InferError> {
+    let program = tnt_lang::frontend(source).map_err(|message| InferError { message })?;
+    analyze_program(&program, options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::CaseStatus;
+
+    #[test]
+    fn end_to_end_foo() {
+        let result = analyze_source(
+            "void foo(int x, int y) { if (x < 0) { return; } else { foo(x + y, y); } }",
+            &InferOptions::default(),
+        )
+        .unwrap();
+        let foo = &result.summaries["foo"];
+        assert_eq!(foo.cases.len(), 3);
+        assert_eq!(result.verdict("foo"), Verdict::NonTerminating);
+        assert!(result.validated);
+        let rendered = foo.render();
+        assert!(rendered.contains("Loop"));
+        assert!(rendered.contains("ensures false"));
+    }
+
+    #[test]
+    fn terminating_program_is_yes() {
+        let result = analyze_source(
+            r#"void main(int n) { int i = 0; while (i < n) { i = i + 1; } }"#,
+            &InferOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(result.program_verdict(), Verdict::Terminating);
+    }
+
+    #[test]
+    fn diverging_program_is_no() {
+        let result = analyze_source(
+            r#"void main(int n) { while (n >= 0) { n = n + 1; } }"#,
+            &InferOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(result.program_verdict(), Verdict::NonTerminating);
+    }
+
+    #[test]
+    fn unknown_when_nondeterministic() {
+        let result = analyze_source(
+            r#"void main(int n) { while (nondet() > 0) { n = n + 1; } }"#,
+            &InferOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(result.program_verdict(), Verdict::Unknown);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(analyze_source("void broken(", &InferOptions::default()).is_err());
+    }
+
+    #[test]
+    fn mc91_with_spec_terminates() {
+        let result = analyze_source(
+            r#"int Mc91(int n)
+                 requires true ensures n <= 100 && res == 91 || n > 100 && res == n - 10;
+               { if (n > 100) { return n - 10; } else { return Mc91(Mc91(n + 11)); } }"#,
+            &InferOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(result.verdict("Mc91"), Verdict::Terminating);
+    }
+
+    #[test]
+    fn ackermann_without_spec_has_mayloop_case() {
+        let result = analyze_source(
+            r#"int Ack(int m, int n)
+               { if (m == 0) { return n + 1; }
+                 else { if (n == 0) { return Ack(m - 1, 1); }
+                        else { return Ack(m - 1, Ack(m, n - 1)); } } }"#,
+            &InferOptions::default(),
+        )
+        .unwrap();
+        let ack = &result.summaries["Ack"];
+        // Without the res >= n + 1 specification the paper reports MayLoop for the
+        // m > 0 ∧ n >= 0 scenario; at minimum the method must not be classified
+        // terminating outright, and must not be unsoundly classified Loop everywhere.
+        assert_ne!(result.verdict("Ack"), Verdict::Terminating);
+        assert!(ack
+            .cases
+            .iter()
+            .any(|c| matches!(c.status, CaseStatus::Term(_) | CaseStatus::MayLoop)));
+    }
+
+    #[test]
+    fn ackermann_with_spec_terminates() {
+        let result = analyze_source(
+            r#"int Ack(int m, int n)
+                 requires m >= 0 && n >= 0 ensures res >= n + 1;
+               { if (m == 0) { return n + 1; }
+                 else { if (n == 0) { return Ack(m - 1, 1); }
+                        else { return Ack(m - 1, Ack(m, n - 1)); } } }"#,
+            &InferOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(result.verdict("Ack"), Verdict::Terminating);
+        let ack = &result.summaries["Ack"];
+        // The ranking measure is lexicographic ([m, n] in the paper).
+        assert!(ack
+            .cases
+            .iter()
+            .any(|c| matches!(&c.status, CaseStatus::Term(m) if m.len() >= 2)));
+    }
+}

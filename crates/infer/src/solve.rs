@@ -1,0 +1,367 @@
+//! The overall inference algorithm `solve` (Fig. 6) and the post-hoc validation of the
+//! inferred definitions.
+
+use crate::prove::{prove_nonterm, prove_term, split, ProveOptions};
+use crate::specialize::{specialize_post, specialize_pre, EdgeTarget, ReachGraph};
+use crate::theta::{CaseState, Theta};
+use std::collections::BTreeSet;
+use tnt_logic::{entail, qe, simplify, Formula};
+use tnt_verify::hoare::ProgramAnalysis;
+
+/// Tunable options of the solver (a superset of [`ProveOptions`], exposed for the
+/// ablation study).
+#[derive(Clone, Copy, Debug)]
+pub struct SolveOptions {
+    /// Maximum number of refinement iterations (`MAX_ITER` in Fig. 6).
+    pub max_iterations: usize,
+    /// Enable the semantic base-case inference of Sec. 5.1.
+    pub enable_base_case: bool,
+    /// Enable abductive case-splitting (Sec. 5.6).
+    pub enable_case_split: bool,
+    /// Enable lexicographic ranking measures.
+    pub lexicographic: bool,
+    /// Maximum number of lexicographic components.
+    pub max_lex_components: usize,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            max_iterations: 12,
+            enable_base_case: true,
+            enable_case_split: true,
+            lexicographic: true,
+            max_lex_components: 4,
+        }
+    }
+}
+
+impl SolveOptions {
+    fn prove_options(&self) -> ProveOptions {
+        ProveOptions {
+            lexicographic: self.lexicographic,
+            max_lex_components: self.max_lex_components,
+            enable_case_split: self.enable_case_split,
+        }
+    }
+}
+
+/// Statistics of one solver run (used by the benchmark harness).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SolveStats {
+    /// Number of refinement iterations executed.
+    pub iterations: usize,
+    /// Number of case splits applied.
+    pub case_splits: usize,
+    /// Number of ranking-function synthesis attempts.
+    pub ranking_attempts: usize,
+    /// Number of non-termination proof attempts.
+    pub nonterm_attempts: usize,
+}
+
+/// Runs the paper's `solve` procedure over the assumptions of a verified program.
+pub fn solve(analysis: &ProgramAnalysis, options: &SolveOptions) -> (Theta, SolveStats) {
+    let mut theta = Theta::new();
+    let mut stats = SolveStats::default();
+    for method in analysis.methods.values() {
+        theta.register(&method.upr_name, &method.upo_name, method.vars.clone());
+    }
+    // Base-case inference (lines 3–5 of Fig. 6).
+    if options.enable_base_case {
+        for method in analysis.methods.values() {
+            let vars: BTreeSet<String> = method.vars.iter().cloned().collect();
+            // Both operands are pruned *before* the negation below: projections of
+            // heap-laden contexts contain many redundant disjuncts whose negation
+            // would otherwise blow up the DNF.
+            let base_candidates = simplify::prune(&Formula::or(
+                method
+                    .post_assumptions
+                    .iter()
+                    .filter(|p| p.is_base_case())
+                    .map(|p| qe::project(&p.ctx, &vars))
+                    .collect(),
+            ));
+            if base_candidates.is_false() {
+                continue;
+            }
+            let recursive_ctx = simplify::prune(&Formula::or(
+                method
+                    .pre_assumptions
+                    .iter()
+                    .map(|a| qe::project(&a.ctx, &vars))
+                    .collect(),
+            ));
+            let base = simplify::prune(&base_candidates.and2(recursive_ctx.negate()));
+            if base.is_false() || !tnt_logic::sat::is_sat(&base) {
+                continue;
+            }
+            let remainder = simplify::prune(&base.clone().negate());
+            let mut parts = vec![(base, Some(CaseState::Term(vec![])))];
+            for cube in tnt_logic::dnf::to_dnf(&remainder) {
+                parts.push((tnt_logic::dnf::from_dnf(&[cube]), None));
+            }
+            theta.split_case(&method.upr_name, parts);
+        }
+    }
+
+    // Main refinement loop (lines 6–14 of Fig. 6).
+    let prove_options = options.prove_options();
+    'outer: for iteration in 0..options.max_iterations {
+        stats.iterations = iteration + 1;
+        if theta.all_resolved() {
+            break;
+        }
+        let unresolved = theta.unresolved_pres();
+        let edges = specialize_pre(analysis, &theta);
+        let graph = ReachGraph::build(edges, &unresolved);
+        let obligations = specialize_post(analysis, &theta);
+
+        let mut progressed = false;
+        for scc in graph.sccs.clone() {
+            // Skip SCCs that are already fully resolved (can happen after earlier
+            // resolutions within this iteration).
+            if scc
+                .iter()
+                .all(|p| theta.case_of_pre(p).is_none() || resolved(&theta, p))
+            {
+                continue;
+            }
+            let successors = graph.scc_successors(&scc);
+            let trivially_terminating =
+                successors.is_empty() && scc.len() == 1 && !graph.has_self_edge(&scc[0]);
+            if trivially_terminating {
+                theta.resolve(&scc[0], CaseState::Term(vec![]));
+                progressed = true;
+                continue;
+            }
+            let all_term =
+                !successors.is_empty() && successors.iter().all(|t| matches!(t, EdgeTarget::Term));
+            if all_term || successors.is_empty() {
+                if all_term {
+                    stats.ranking_attempts += 1;
+                    if let Some(measures) = prove_term(&scc, &graph, &theta, &prove_options) {
+                        for (pre, measure) in measures {
+                            theta.resolve(&pre, CaseState::Term(measure));
+                        }
+                        progressed = true;
+                        continue;
+                    }
+                }
+            }
+            // Non-termination proof (directly, or as the fall-back after a failed
+            // termination proof, or when a successor is Loop/MayLoop).
+            stats.nonterm_attempts += 1;
+            let outcome = prove_nonterm(&scc, &obligations, &theta, &prove_options);
+            if outcome.success {
+                for pre in &scc {
+                    theta.resolve(pre, CaseState::Loop);
+                }
+                progressed = true;
+                continue;
+            }
+            if options.enable_case_split && !outcome.splits.is_empty() {
+                let mut split_applied = false;
+                for (pre, conditions) in outcome.splits {
+                    let guard = theta.guard_of_pre(&pre).cloned().unwrap_or(Formula::True);
+                    let parts = split(&conditions, &guard);
+                    if parts.len() < 2 {
+                        continue;
+                    }
+                    stats.case_splits += 1;
+                    theta.split_case(&pre, parts.into_iter().map(|p| (p, None)).collect());
+                    split_applied = true;
+                }
+                if split_applied {
+                    progressed = true;
+                    // Restart with the refined definitions (line 11 of Fig. 6).
+                    continue 'outer;
+                }
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+
+    theta.finalize();
+    (theta, stats)
+}
+
+fn resolved(theta: &Theta, pre: &str) -> bool {
+    let Some((root, index)) = theta.case_of_pre(pre) else {
+        return true;
+    };
+    theta
+        .definition(root)
+        .map(|d| d.cases[index].state.is_resolved())
+        .unwrap_or(true)
+}
+
+/// Post-hoc validation of a finalized store, mirroring the paper's re-verification of
+/// inferred specifications:
+///
+/// * the guards of every definition are feasible, pairwise exclusive and exhaustive;
+/// * every `Term` case has a measure that is bounded and strictly decreasing on every
+///   internal edge of its case (re-checked through the sound Farkas implication);
+/// * every `Loop` case's unreachability obligations hold under the final definitions.
+pub fn validate(analysis: &ProgramAnalysis, theta: &Theta) -> bool {
+    // 1. Guard partitions.
+    for (_, def) in theta.definitions() {
+        let guards: Vec<Formula> = def.cases.iter().map(|c| c.guard.clone()).collect();
+        for g in &guards {
+            if !tnt_logic::sat::is_sat(g) {
+                return false;
+            }
+        }
+        for (i, a) in guards.iter().enumerate() {
+            for b in guards.iter().skip(i + 1) {
+                if tnt_logic::sat::is_sat(&a.clone().and2(b.clone())) {
+                    return false;
+                }
+            }
+        }
+        if !entail::is_valid(&Formula::or(guards)) {
+            return false;
+        }
+    }
+
+    // 2./3. Re-check Term and Loop cases against a re-specialisation under the final
+    // definitions. Resolved Term cases are re-derived by re-running the ranking
+    // synthesis restricted to their internal edges; Loop cases re-check their
+    // obligations with the (now closed) definitions.
+    let resolved_theta = resolved_view(theta);
+    let edges = specialize_pre(analysis, &resolved_theta);
+    let graph = ReachGraph::build(edges, &resolved_theta.unresolved_pres());
+    let obligations = specialize_post(analysis, &resolved_theta);
+    let options = ProveOptions::default();
+    for scc in &graph.sccs {
+        // Which final states do these nodes map to? The view's case indices coincide
+        // with the final definition's case order by construction.
+        let states: Vec<CaseState> = scc
+            .iter()
+            .filter_map(|p| {
+                let (root, index) = resolved_theta.case_of_pre(p)?;
+                Some(theta.definition(root)?.cases.get(index)?.state.clone())
+            })
+            .collect();
+        if states.iter().any(|s| matches!(s, CaseState::Term(_))) {
+            if prove_term(scc, &graph, &resolved_theta, &options).is_none() {
+                return false;
+            }
+        }
+        if states.iter().any(|s| matches!(s, CaseState::Loop)) {
+            let outcome = prove_nonterm(scc, &obligations, &resolved_theta, &options);
+            if !outcome.success {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// A copy of the store in which every case is re-opened as unknown but keeps its final
+/// guard structure — used by [`validate`] so the re-specialisation sees the same case
+/// boundaries the solver ended with.
+fn resolved_view(theta: &Theta) -> Theta {
+    // Re-opening is done by rebuilding from scratch with the same guards.
+    let mut view = Theta::new();
+    for (root, def) in theta.definitions() {
+        let upo_root = root.replacen("Upr", "Upo", 1);
+        view.register(root, &upo_root, def.vars.clone());
+        let parts: Vec<(Formula, Option<CaseState>)> =
+            def.cases.iter().map(|c| (c.guard.clone(), None)).collect();
+        view.split_case(root, parts);
+    }
+    view
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnt_lang::frontend;
+    use tnt_verify::verify_program;
+
+    fn run(source: &str) -> (ProgramAnalysis, Theta, SolveStats) {
+        let program = frontend(source).unwrap();
+        let analysis = verify_program(&program).unwrap();
+        let (theta, stats) = solve(&analysis, &SolveOptions::default());
+        (analysis, theta, stats)
+    }
+
+    #[test]
+    fn foo_running_example_resolves_to_three_cases() {
+        let (analysis, theta, stats) =
+            run("void foo(int x, int y) { if (x < 0) { return; } else { foo(x + y, y); } }");
+        assert!(theta.all_resolved());
+        let def = theta.definition("Upr_foo#0").unwrap();
+        assert_eq!(def.cases.len(), 3);
+        let mut term_base = 0;
+        let mut term_ranked = 0;
+        let mut looping = 0;
+        for case in &def.cases {
+            match &case.state {
+                CaseState::Term(m) if m.is_empty() => term_base += 1,
+                CaseState::Term(_) => term_ranked += 1,
+                CaseState::Loop => looping += 1,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!((term_base, term_ranked, looping), (1, 1, 1));
+        assert!(stats.case_splits >= 1);
+        assert!(validate(&analysis, &theta));
+    }
+
+    #[test]
+    fn simple_terminating_recursion() {
+        let (analysis, theta, _) =
+            run("void down(int n) { if (n <= 0) { return; } else { down(n - 1); } }");
+        let def = theta.definition("Upr_down#0").unwrap();
+        assert!(def
+            .cases
+            .iter()
+            .all(|c| matches!(c.state, CaseState::Term(_))));
+        assert!(validate(&analysis, &theta));
+    }
+
+    #[test]
+    fn unconditional_divergence_is_loop() {
+        let (analysis, theta, _) = run("void spin(int x) { spin(x + 1); }");
+        let def = theta.definition("Upr_spin#0").unwrap();
+        assert_eq!(def.cases.len(), 1);
+        assert!(matches!(def.cases[0].state, CaseState::Loop));
+        assert!(validate(&analysis, &theta));
+    }
+
+    #[test]
+    fn nondeterministic_recursion_is_mayloop() {
+        let (_, theta, _) =
+            run("void f(int x) { int c = nondet(); if (c > 0) { f(x); } else { return; } }");
+        let def = theta.definition("Upr_f#0").unwrap();
+        assert!(def
+            .cases
+            .iter()
+            .any(|c| matches!(c.state, CaseState::MayLoop)));
+        // Soundness: never classified Term or Loop overall.
+        assert!(!def
+            .cases
+            .iter()
+            .all(|c| matches!(c.state, CaseState::Term(_))));
+        assert!(!def.cases.iter().any(|c| matches!(c.state, CaseState::Loop)));
+    }
+
+    #[test]
+    fn base_case_disabled_still_sound() {
+        let program =
+            frontend("void down(int n) { if (n <= 0) { return; } else { down(n - 1); } }").unwrap();
+        let analysis = verify_program(&program).unwrap();
+        let options = SolveOptions {
+            enable_base_case: false,
+            ..SolveOptions::default()
+        };
+        let (theta, _) = solve(&analysis, &options);
+        // Without base-case inference the summary may be weaker (MayLoop) but must not
+        // claim Loop for a terminating method.
+        let def = theta.definition("Upr_down#0").unwrap();
+        assert!(!def.cases.iter().any(|c| matches!(c.state, CaseState::Loop)));
+    }
+}

@@ -1,0 +1,250 @@
+//! While-loop elimination.
+//!
+//! The paper's core language (Fig. 5) has no loop construct: "it assumes an automatic
+//! translation of loops into tail-recursive methods". This module is that translation:
+//! every `while (c) { body }` becomes a fresh method
+//!
+//! ```text
+//! void m_loopK(ref t1 v1, ..., ref tn vn)
+//! { if (c) { body; m_loopK(v1, ..., vn); } else { return; } }
+//! ```
+//!
+//! over the variables `vᵢ` that are live at the loop (parameters and locals in scope
+//! that the loop mentions), and the original loop is replaced by a call to the new
+//! method. The generated method carries no specification, so the inference engine
+//! instruments it with unknown temporal predicates exactly like a hand-written
+//! recursive method.
+//!
+//! Limitation (documented in `README.md`): a `return` inside a loop body exits the
+//! generated loop method — i.e. it behaves like a `break` followed by the code after
+//! the loop. This preserves the termination behaviour of the loop itself; workloads in
+//! `tnt-suite` avoid the pattern where it would change the caller's behaviour.
+
+use crate::ast::{Block, Expr, MethodDecl, Param, Program, Stmt, Type};
+use std::collections::HashMap;
+
+/// Desugars every while loop in the program into a tail-recursive method.
+pub fn desugar_loops(program: &Program) -> Program {
+    let mut out = program.clone();
+    let mut generated: Vec<MethodDecl> = Vec::new();
+    for method in &mut out.methods {
+        if let Some(body) = method.body.clone() {
+            let mut ctx = DesugarCtx {
+                method_name: method.name.clone(),
+                counter: 0,
+                generated: &mut generated,
+                scope: method
+                    .params
+                    .iter()
+                    .map(|p| (p.name.clone(), p.ty.clone()))
+                    .collect(),
+            };
+            let new_body = ctx.block(&body);
+            method.body = Some(new_body);
+        }
+    }
+    out.methods.extend(generated);
+    out
+}
+
+struct DesugarCtx<'a> {
+    method_name: String,
+    counter: usize,
+    generated: &'a mut Vec<MethodDecl>,
+    scope: HashMap<String, Type>,
+}
+
+impl DesugarCtx<'_> {
+    fn block(&mut self, block: &Block) -> Block {
+        let saved_scope = self.scope.clone();
+        let mut stmts = Vec::new();
+        for stmt in &block.stmts {
+            stmts.push(self.stmt(stmt));
+        }
+        self.scope = saved_scope;
+        Block::new(stmts)
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) -> Stmt {
+        match stmt {
+            Stmt::VarDecl(ty, name, init) => {
+                self.scope.insert(name.clone(), ty.clone());
+                Stmt::VarDecl(ty.clone(), name.clone(), init.clone())
+            }
+            Stmt::If(cond, then_block, else_block) => {
+                Stmt::If(cond.clone(), self.block(then_block), self.block(else_block))
+            }
+            Stmt::While(cond, body) => {
+                self.counter += 1;
+                let loop_name = format!("{}_loop{}", self.method_name, self.counter);
+
+                // The loop method parameters: every in-scope variable mentioned by the
+                // condition or the body, in deterministic order.
+                let mut mentioned = Vec::new();
+                cond.collect_vars(&mut mentioned);
+                collect_block_vars(body, &mut mentioned);
+                let mut params: Vec<Param> = Vec::new();
+                for name in &mentioned {
+                    if let Some(ty) = self.scope.get(name) {
+                        params.push(Param {
+                            ty: ty.clone(),
+                            name: name.clone(),
+                            by_ref: true,
+                        });
+                    }
+                }
+
+                // Desugar nested loops inside the body first (within the loop method's
+                // own naming scope to keep names unique).
+                let desugared_body = self.block(body);
+
+                let recursive_call = Stmt::ExprStmt(Expr::Call(
+                    loop_name.clone(),
+                    params.iter().map(|p| Expr::Var(p.name.clone())).collect(),
+                ));
+                let mut then_stmts = desugared_body.stmts;
+                then_stmts.push(recursive_call);
+                let loop_body = Block::new(vec![Stmt::If(
+                    cond.clone(),
+                    Block::new(then_stmts),
+                    Block::new(vec![Stmt::Return(None)]),
+                )]);
+                self.generated.push(MethodDecl {
+                    ret: Type::Void,
+                    name: loop_name.clone(),
+                    params: params.clone(),
+                    spec: None,
+                    body: Some(loop_body),
+                });
+
+                Stmt::ExprStmt(Expr::Call(
+                    loop_name,
+                    params.iter().map(|p| Expr::Var(p.name.clone())).collect(),
+                ))
+            }
+            other => other.clone(),
+        }
+    }
+}
+
+fn collect_block_vars(block: &Block, out: &mut Vec<String>) {
+    for stmt in &block.stmts {
+        collect_stmt_vars(stmt, out);
+    }
+}
+
+fn collect_stmt_vars(stmt: &Stmt, out: &mut Vec<String>) {
+    let mut push = |name: &String| {
+        if !out.contains(name) {
+            out.push(name.clone());
+        }
+    };
+    match stmt {
+        Stmt::VarDecl(_, name, init) => {
+            push(name);
+            if let Some(init) = init {
+                init.collect_vars(out);
+            }
+        }
+        Stmt::Assign(name, value) => {
+            push(name);
+            value.collect_vars(out);
+        }
+        Stmt::FieldAssign(base, _, value) => {
+            push(base);
+            value.collect_vars(out);
+        }
+        Stmt::If(cond, then_block, else_block) => {
+            cond.collect_vars(out);
+            collect_block_vars(then_block, out);
+            collect_block_vars(else_block, out);
+        }
+        Stmt::While(cond, body) => {
+            cond.collect_vars(out);
+            collect_block_vars(body, out);
+        }
+        Stmt::Return(Some(e)) | Stmt::ExprStmt(e) | Stmt::Assume(e) => e.collect_vars(out),
+        Stmt::Return(None) | Stmt::Skip => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn simple_loop_becomes_method() {
+        let source = r#"
+            void count(int n)
+            { int i = 0;
+              while (i < n) { i = i + 1; }
+            }
+        "#;
+        let program = desugar_loops(&parse_program(source).unwrap());
+        assert_eq!(program.methods.len(), 2);
+        let lp = program.method("count_loop1").unwrap();
+        // Parameters are the variables the loop mentions: i and n.
+        let names: Vec<_> = lp.params.iter().map(|p| p.name.as_str()).collect();
+        assert!(names.contains(&"i") && names.contains(&"n"));
+        assert!(lp.params.iter().all(|p| p.by_ref));
+        // The loop method is recursive.
+        let callees = program.callees(lp);
+        assert_eq!(callees, vec!["count_loop1".to_string()]);
+        // The original method now calls the loop method instead of looping.
+        let count = program.method("count").unwrap();
+        assert_eq!(program.callees(count), vec!["count_loop1".to_string()]);
+        assert!(!format!("{:?}", count.body).contains("While"));
+    }
+
+    #[test]
+    fn nested_loops_generate_two_methods() {
+        let source = r#"
+            void nested(int n, int m)
+            { int i = 0;
+              while (i < n) {
+                int j = 0;
+                while (j < m) { j = j + 1; }
+                i = i + 1;
+              }
+            }
+        "#;
+        let program = desugar_loops(&parse_program(source).unwrap());
+        assert_eq!(program.methods.len(), 3);
+        assert!(program.method("nested_loop1").is_some());
+        assert!(program.method("nested_loop2").is_some());
+        // The outer loop method calls the inner loop method and itself.
+        let outer = program
+            .methods
+            .iter()
+            .filter(|m| m.name.starts_with("nested_loop"))
+            .find(|m| program.callees(m).len() == 2)
+            .expect("outer loop calls inner loop and itself");
+        assert!(program.callees(outer).contains(&outer.name));
+    }
+
+    #[test]
+    fn loop_locals_declared_inside_are_parameters_only_if_in_scope() {
+        // `j` is declared inside the loop body, so it is not in scope at the loop head
+        // and must not become a parameter of the generated method.
+        let source = r#"
+            void f(int n)
+            { while (n > 0) { int j = 1; n = n - j; } }
+        "#;
+        let program = desugar_loops(&parse_program(source).unwrap());
+        let lp = program.method("f_loop1").unwrap();
+        let names: Vec<_> = lp.params.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, vec!["n"]);
+    }
+
+    #[test]
+    fn programs_without_loops_unchanged() {
+        let source = r#"
+            void foo(int x, int y)
+            { if (x < 0) { return; } else { foo(x + y, y); } }
+        "#;
+        let parsed = parse_program(source).unwrap();
+        let desugared = desugar_loops(&parsed);
+        assert_eq!(parsed, desugared);
+    }
+}

@@ -1,0 +1,335 @@
+//! A hand-written lexer for the surface language.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier or keyword-like word (keywords are classified by the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i128),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `!`
+    Bang,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `&`
+    Amp,
+    /// `->`
+    Arrow,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(n) => write!(f, "{n}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::Semi => write!(f, ";"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Bang => write!(f, "!"),
+            Token::Assign => write!(f, "="),
+            Token::EqEq => write!(f, "=="),
+            Token::NotEq => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::AndAnd => write!(f, "&&"),
+            Token::OrOr => write!(f, "||"),
+            Token::Amp => write!(f, "&"),
+            Token::Arrow => write!(f, "->"),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token together with its source line (1-based), for error reporting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Line number where the token starts.
+    pub line: usize,
+}
+
+/// An error produced by the lexer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable message.
+    pub message: String,
+    /// Line number of the offending character.
+    pub line: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenises a source string. Line comments (`//`) and block comments (`/* */`) are
+/// skipped.
+pub fn tokenize(source: &str) -> Result<Vec<Spanned>, LexError> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                i += 2;
+                while i + 1 < chars.len() && !(chars[i] == '*' && chars[i + 1] == '/') {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                if i + 1 >= chars.len() {
+                    return Err(LexError {
+                        message: "unterminated block comment".to_string(),
+                        line,
+                    });
+                }
+                i += 2;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let value = text.parse::<i128>().map_err(|_| LexError {
+                    message: format!("integer literal out of range: {text}"),
+                    line,
+                })?;
+                tokens.push(Spanned {
+                    token: Token::Int(value),
+                    line,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                // Primed identifiers (x') are allowed in specifications.
+                while i < chars.len() && chars[i] == '\'' {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                tokens.push(Spanned {
+                    token: Token::Ident(text),
+                    line,
+                });
+            }
+            _ => {
+                let two: String = chars[i..chars.len().min(i + 2)].iter().collect();
+                let (token, width) = match two.as_str() {
+                    "==" => (Token::EqEq, 2),
+                    "!=" => (Token::NotEq, 2),
+                    "<=" => (Token::Le, 2),
+                    ">=" => (Token::Ge, 2),
+                    "&&" => (Token::AndAnd, 2),
+                    "||" => (Token::OrOr, 2),
+                    "->" => (Token::Arrow, 2),
+                    _ => match c {
+                        '(' => (Token::LParen, 1),
+                        ')' => (Token::RParen, 1),
+                        '{' => (Token::LBrace, 1),
+                        '}' => (Token::RBrace, 1),
+                        '[' => (Token::LBracket, 1),
+                        ']' => (Token::RBracket, 1),
+                        ';' => (Token::Semi, 1),
+                        ',' => (Token::Comma, 1),
+                        '.' => (Token::Dot, 1),
+                        '+' => (Token::Plus, 1),
+                        '-' => (Token::Minus, 1),
+                        '*' => (Token::Star, 1),
+                        '!' => (Token::Bang, 1),
+                        '=' => (Token::Assign, 1),
+                        '<' => (Token::Lt, 1),
+                        '>' => (Token::Gt, 1),
+                        '&' => (Token::Amp, 1),
+                        other => {
+                            return Err(LexError {
+                                message: format!("unexpected character {other:?}"),
+                                line,
+                            })
+                        }
+                    },
+                };
+                tokens.push(Spanned { token, line });
+                i += width;
+            }
+        }
+    }
+    tokens.push(Spanned {
+        token: Token::Eof,
+        line,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<Token> {
+        tokenize(source)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
+    }
+
+    #[test]
+    fn simple_tokens() {
+        assert_eq!(
+            kinds("x = x + 1;"),
+            vec![
+                Token::Ident("x".into()),
+                Token::Assign,
+                Token::Ident("x".into()),
+                Token::Plus,
+                Token::Int(1),
+                Token::Semi,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            kinds("a <= b >= c == d != e && f || g -> h"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Le,
+                Token::Ident("b".into()),
+                Token::Ge,
+                Token::Ident("c".into()),
+                Token::EqEq,
+                Token::Ident("d".into()),
+                Token::NotEq,
+                Token::Ident("e".into()),
+                Token::AndAnd,
+                Token::Ident("f".into()),
+                Token::OrOr,
+                Token::Ident("g".into()),
+                Token::Arrow,
+                Token::Ident("h".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let source = "x // comment\n/* block\ncomment */ y";
+        assert_eq!(
+            kinds(source),
+            vec![
+                Token::Ident("x".into()),
+                Token::Ident("y".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let tokens = tokenize("a\nb\n\nc").unwrap();
+        assert_eq!(tokens[0].line, 1);
+        assert_eq!(tokens[1].line, 2);
+        assert_eq!(tokens[2].line, 4);
+    }
+
+    #[test]
+    fn primed_identifiers() {
+        assert_eq!(
+            kinds("x' y''"),
+            vec![
+                Token::Ident("x'".into()),
+                Token::Ident("y''".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_comment_is_error() {
+        assert!(tokenize("/* oops").is_err());
+    }
+
+    #[test]
+    fn unexpected_character_is_error() {
+        let err = tokenize("a @ b").unwrap_err();
+        assert!(err.message.contains("unexpected"));
+        assert_eq!(err.line, 1);
+    }
+}

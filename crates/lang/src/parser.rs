@@ -1,0 +1,874 @@
+//! A recursive-descent parser for the surface language and its specifications.
+
+use crate::ast::BinOp;
+use crate::ast::{
+    Block, DataDecl, Expr, LemmaDecl, MethodDecl, Param, PredDecl, Program, Stmt, Type, UnOp,
+};
+use crate::lexer::{tokenize, Spanned, Token};
+use crate::spec::{Ensures, HeapFormula, Requires, Spec, SpecPair, TemporalSpec};
+use std::fmt;
+
+/// A parse error with a line number and message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub message: String,
+    /// Source line (1-based).
+    pub line: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a whole program.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] pointing at the first offending token.
+pub fn parse_program(source: &str) -> Result<Program, ParseError> {
+    let tokens = tokenize(source).map_err(|e| ParseError {
+        message: e.message,
+        line: e.line,
+    })?;
+    Parser::new(tokens).program()
+}
+
+/// Parses a single boolean/arithmetic expression (used by tests and by the suite
+/// generators for embedding guard expressions).
+pub fn parse_expr(source: &str) -> Result<Expr, ParseError> {
+    let tokens = tokenize(source).map_err(|e| ParseError {
+        message: e.message,
+        line: e.line,
+    })?;
+    let mut parser = Parser::new(tokens);
+    let expr = parser.expr()?;
+    parser.expect(Token::Eof)?;
+    Ok(expr)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    /// Inside specification conjuncts `*` is the separating conjunction, not
+    /// multiplication; this flag makes the expression parser leave it alone.
+    no_star_mul: bool,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Spanned>) -> Self {
+        Parser {
+            tokens,
+            pos: 0,
+            no_star_mul: false,
+        }
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].token
+    }
+
+    fn peek_at(&self, offset: usize) -> &Token {
+        let idx = (self.pos + offset).min(self.tokens.len() - 1);
+        &self.tokens[idx].token
+    }
+
+    fn line(&self) -> usize {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> Token {
+        let token = self.tokens[self.pos].token.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        token
+    }
+
+    fn error<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: message.into(),
+            line: self.line(),
+        })
+    }
+
+    fn expect(&mut self, expected: Token) -> Result<(), ParseError> {
+        if *self.peek() == expected {
+            self.bump();
+            Ok(())
+        } else {
+            self.error(format!("expected `{expected}`, found `{}`", self.peek()))
+        }
+    }
+
+    fn eat_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Token::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            other => self.error(format!("expected identifier, found `{other}`")),
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Token::Ident(name) if name == kw)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.at_keyword(kw) {
+            self.bump();
+            Ok(())
+        } else {
+            self.error(format!("expected keyword `{kw}`, found `{}`", self.peek()))
+        }
+    }
+
+    // ---------------------------------------------------------------- program
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut program = Program::default();
+        while *self.peek() != Token::Eof {
+            if self.at_keyword("data") {
+                program.datas.push(self.data_decl()?);
+            } else if self.at_keyword("pred") {
+                program.preds.push(self.pred_decl()?);
+            } else if self.at_keyword("lemma") {
+                program.lemmas.push(self.lemma_decl()?);
+            } else {
+                program.methods.push(self.method_decl()?);
+            }
+        }
+        Ok(program)
+    }
+
+    fn data_decl(&mut self) -> Result<DataDecl, ParseError> {
+        self.eat_keyword("data")?;
+        let name = self.eat_ident()?;
+        self.expect(Token::LBrace)?;
+        let mut fields = Vec::new();
+        while *self.peek() != Token::RBrace {
+            let ty = self.parse_type()?;
+            let field = self.eat_ident()?;
+            self.expect(Token::Semi)?;
+            fields.push((ty, field));
+        }
+        self.expect(Token::RBrace)?;
+        Ok(DataDecl { name, fields })
+    }
+
+    fn pred_decl(&mut self) -> Result<PredDecl, ParseError> {
+        self.eat_keyword("pred")?;
+        let name = self.eat_ident()?;
+        self.expect(Token::LParen)?;
+        let mut params = Vec::new();
+        while *self.peek() != Token::RParen {
+            params.push(self.eat_ident()?);
+            if *self.peek() == Token::Comma {
+                self.bump();
+            }
+        }
+        self.expect(Token::RParen)?;
+        self.expect(Token::EqEq)?;
+        let mut branches = vec![self.spec_state()?];
+        while self.at_keyword("or") {
+            self.bump();
+            branches.push(self.spec_state()?);
+        }
+        self.expect(Token::Semi)?;
+        Ok(PredDecl {
+            name,
+            params,
+            branches: branches
+                .into_iter()
+                .map(|(heap, pure, _)| (heap, pure))
+                .collect(),
+        })
+    }
+
+    fn lemma_decl(&mut self) -> Result<LemmaDecl, ParseError> {
+        self.eat_keyword("lemma")?;
+        let (lhs_heap, lhs_pure, _) = self.spec_state()?;
+        self.expect(Token::EqEq)?;
+        let (rhs_heap, rhs_pure, _) = self.spec_state()?;
+        self.expect(Token::Semi)?;
+        Ok(LemmaDecl {
+            lhs: (lhs_heap, lhs_pure),
+            rhs: (rhs_heap, rhs_pure),
+        })
+    }
+
+    fn parse_type(&mut self) -> Result<Type, ParseError> {
+        let name = self.eat_ident()?;
+        Ok(match name.as_str() {
+            "int" => Type::Int,
+            "bool" => Type::Bool,
+            "void" => Type::Void,
+            _ => Type::Data(name),
+        })
+    }
+
+    fn method_decl(&mut self) -> Result<MethodDecl, ParseError> {
+        let ret = self.parse_type()?;
+        let name = self.eat_ident()?;
+        self.expect(Token::LParen)?;
+        let mut params = Vec::new();
+        while *self.peek() != Token::RParen {
+            let by_ref = if self.at_keyword("ref") {
+                self.bump();
+                true
+            } else {
+                false
+            };
+            let ty = self.parse_type()?;
+            let pname = self.eat_ident()?;
+            params.push(Param {
+                ty,
+                name: pname,
+                by_ref,
+            });
+            if *self.peek() == Token::Comma {
+                self.bump();
+            }
+        }
+        self.expect(Token::RParen)?;
+        let spec = self.maybe_spec()?;
+        let body = if *self.peek() == Token::Semi {
+            self.bump();
+            None
+        } else {
+            Some(self.block()?)
+        };
+        Ok(MethodDecl {
+            ret,
+            name,
+            params,
+            spec,
+            body,
+        })
+    }
+
+    // ------------------------------------------------------------------ specs
+
+    fn maybe_spec(&mut self) -> Result<Option<Spec>, ParseError> {
+        if !self.at_keyword("requires") && !self.at_keyword("case") {
+            return Ok(None);
+        }
+        Ok(Some(self.spec()?))
+    }
+
+    fn spec(&mut self) -> Result<Spec, ParseError> {
+        if self.at_keyword("case") {
+            return self.case_spec();
+        }
+        let mut pairs = Vec::new();
+        while self.at_keyword("requires") {
+            pairs.push(self.spec_pair()?);
+        }
+        Ok(Spec::Pairs(pairs))
+    }
+
+    fn case_spec(&mut self) -> Result<Spec, ParseError> {
+        self.eat_keyword("case")?;
+        self.expect(Token::LBrace)?;
+        let mut arms = Vec::new();
+        while *self.peek() != Token::RBrace {
+            let guard = self.expr()?;
+            self.expect(Token::Arrow)?;
+            let inner = self.spec()?;
+            arms.push((guard, inner));
+        }
+        self.expect(Token::RBrace)?;
+        if *self.peek() == Token::Semi {
+            self.bump();
+        }
+        Ok(Spec::Case(arms))
+    }
+
+    fn spec_pair(&mut self) -> Result<SpecPair, ParseError> {
+        self.eat_keyword("requires")?;
+        let (req_heap, req_pure, temporal) = self.spec_state()?;
+        self.eat_keyword("ensures")?;
+        let (ens_heap, ens_pure, ens_temporal) = self.spec_state()?;
+        if !matches!(ens_temporal, TemporalSpec::Unknown) {
+            return self.error("temporal predicates are not allowed in ensures clauses");
+        }
+        self.expect(Token::Semi)?;
+        Ok(SpecPair {
+            requires: Requires {
+                heap: req_heap,
+                pure: req_pure,
+                temporal,
+            },
+            ensures: Ensures {
+                heap: ens_heap,
+                pure: ens_pure,
+            },
+        })
+    }
+
+    /// Parses a specification state: conjuncts separated by `&` or `*`, each being a
+    /// heap atom, a temporal predicate or a pure expression.
+    fn spec_state(&mut self) -> Result<(HeapFormula, Expr, TemporalSpec), ParseError> {
+        let mut heaps = Vec::new();
+        let mut pures = Vec::new();
+        let mut temporal = TemporalSpec::Unknown;
+        let saved_star_mode = self.no_star_mul;
+        self.no_star_mul = true;
+        loop {
+            self.spec_conjunct(&mut heaps, &mut pures, &mut temporal)?;
+            match self.peek() {
+                Token::Amp | Token::Star => {
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        self.no_star_mul = saved_star_mode;
+        let pure = pures
+            .into_iter()
+            .reduce(|a, b| Expr::bin(BinOp::And, a, b))
+            .unwrap_or(Expr::Bool(true));
+        Ok((HeapFormula::star(heaps), pure, temporal))
+    }
+
+    fn spec_conjunct(
+        &mut self,
+        heaps: &mut Vec<HeapFormula>,
+        pures: &mut Vec<Expr>,
+        temporal: &mut TemporalSpec,
+    ) -> Result<(), ParseError> {
+        // Temporal predicates.
+        if self.at_keyword("Term") {
+            self.bump();
+            let mut measure = Vec::new();
+            if *self.peek() == Token::LBracket {
+                self.bump();
+                while *self.peek() != Token::RBracket {
+                    measure.push(self.expr()?);
+                    if *self.peek() == Token::Comma {
+                        self.bump();
+                    }
+                }
+                self.expect(Token::RBracket)?;
+            }
+            *temporal = TemporalSpec::Term(measure);
+            return Ok(());
+        }
+        if self.at_keyword("Loop") {
+            self.bump();
+            *temporal = TemporalSpec::Loop;
+            return Ok(());
+        }
+        if self.at_keyword("MayLoop") {
+            self.bump();
+            *temporal = TemporalSpec::MayLoop;
+            return Ok(());
+        }
+        if self.at_keyword("emp") {
+            self.bump();
+            return Ok(());
+        }
+        // Points-to: `v -> data(args)`.
+        if matches!(self.peek(), Token::Ident(_))
+            && *self.peek_at(1) == Token::Arrow
+            && matches!(self.peek_at(2), Token::Ident(_))
+            && *self.peek_at(3) == Token::LParen
+        {
+            let var = self.eat_ident()?;
+            self.expect(Token::Arrow)?;
+            let data = self.eat_ident()?;
+            let args = self.call_args()?;
+            heaps.push(HeapFormula::PointsTo { var, data, args });
+            return Ok(());
+        }
+        // Otherwise parse a full expression; calls at the top level of a spec conjunct
+        // denote heap-predicate instances (specifications contain no method calls).
+        let expr = self.expr()?;
+        match expr {
+            Expr::Call(name, args) => heaps.push(HeapFormula::Pred { name, args }),
+            other => pures.push(other),
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------- statements
+
+    fn block(&mut self) -> Result<Block, ParseError> {
+        self.expect(Token::LBrace)?;
+        let mut stmts = Vec::new();
+        while *self.peek() != Token::RBrace {
+            stmts.push(self.stmt()?);
+        }
+        self.expect(Token::RBrace)?;
+        Ok(Block::new(stmts))
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek().clone() {
+            Token::Semi => {
+                self.bump();
+                Ok(Stmt::Skip)
+            }
+            Token::Ident(word) => match word.as_str() {
+                "if" => self.if_stmt(),
+                "while" => {
+                    self.bump();
+                    self.expect(Token::LParen)?;
+                    let cond = self.expr()?;
+                    self.expect(Token::RParen)?;
+                    let body = self.block()?;
+                    Ok(Stmt::While(cond, body))
+                }
+                "return" => {
+                    self.bump();
+                    if *self.peek() == Token::Semi {
+                        self.bump();
+                        Ok(Stmt::Return(None))
+                    } else {
+                        let value = self.expr()?;
+                        self.expect(Token::Semi)?;
+                        Ok(Stmt::Return(Some(value)))
+                    }
+                }
+                "assume" => {
+                    self.bump();
+                    self.expect(Token::LParen)?;
+                    let cond = self.expr()?;
+                    self.expect(Token::RParen)?;
+                    self.expect(Token::Semi)?;
+                    Ok(Stmt::Assume(cond))
+                }
+                "int" | "bool" => self.var_decl(),
+                _ => {
+                    // Could be: a data-typed declaration (`node x ...;`), an assignment,
+                    // a field assignment, or an expression statement.
+                    if matches!(self.peek_at(1), Token::Ident(_)) {
+                        self.var_decl()
+                    } else if *self.peek_at(1) == Token::Assign {
+                        let name = self.eat_ident()?;
+                        self.expect(Token::Assign)?;
+                        let value = self.expr()?;
+                        self.expect(Token::Semi)?;
+                        Ok(Stmt::Assign(name, value))
+                    } else if *self.peek_at(1) == Token::Dot
+                        && matches!(self.peek_at(2), Token::Ident(_))
+                        && *self.peek_at(3) == Token::Assign
+                    {
+                        let base = self.eat_ident()?;
+                        self.expect(Token::Dot)?;
+                        let field = self.eat_ident()?;
+                        self.expect(Token::Assign)?;
+                        let value = self.expr()?;
+                        self.expect(Token::Semi)?;
+                        Ok(Stmt::FieldAssign(base, field, value))
+                    } else {
+                        let expr = self.expr()?;
+                        self.expect(Token::Semi)?;
+                        Ok(Stmt::ExprStmt(expr))
+                    }
+                }
+            },
+            _ => {
+                let expr = self.expr()?;
+                self.expect(Token::Semi)?;
+                Ok(Stmt::ExprStmt(expr))
+            }
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.eat_keyword("if")?;
+        self.expect(Token::LParen)?;
+        let cond = self.expr()?;
+        self.expect(Token::RParen)?;
+        let then_block = self.block()?;
+        let else_block = if self.at_keyword("else") {
+            self.bump();
+            if self.at_keyword("if") {
+                Block::new(vec![self.if_stmt()?])
+            } else {
+                self.block()?
+            }
+        } else {
+            Block::empty()
+        };
+        Ok(Stmt::If(cond, then_block, else_block))
+    }
+
+    fn var_decl(&mut self) -> Result<Stmt, ParseError> {
+        let ty = self.parse_type()?;
+        let name = self.eat_ident()?;
+        let init = if *self.peek() == Token::Assign {
+            self.bump();
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.expect(Token::Semi)?;
+        Ok(Stmt::VarDecl(ty, name, init))
+    }
+
+    // ------------------------------------------------------------ expressions
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while *self.peek() == Token::OrOr {
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = Expr::bin(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.cmp_expr()?;
+        while *self.peek() == Token::AndAnd {
+            self.bump();
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::bin(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Token::EqEq => Some(BinOp::Eq),
+            Token::Assign => Some(BinOp::Eq), // specs use single `=` for equality
+            Token::NotEq => Some(BinOp::Ne),
+            Token::Lt => Some(BinOp::Lt),
+            Token::Le => Some(BinOp::Le),
+            Token::Gt => Some(BinOp::Gt),
+            Token::Ge => Some(BinOp::Ge),
+            _ => None,
+        };
+        match op {
+            None => Ok(lhs),
+            Some(op) => {
+                self.bump();
+                let rhs = self.add_expr()?;
+                Ok(Expr::bin(op, lhs, rhs))
+            }
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Token::Plus => BinOp::Add,
+                Token::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        while *self.peek() == Token::Star && !self.no_star_mul {
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::bin(BinOp::Mul, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Token::Minus => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::Neg, Box::new(self.unary_expr()?)))
+            }
+            Token::Bang => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::Not, Box::new(self.unary_expr()?)))
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn call_args(&mut self) -> Result<Vec<Expr>, ParseError> {
+        self.expect(Token::LParen)?;
+        let mut args = Vec::new();
+        while *self.peek() != Token::RParen {
+            args.push(self.expr()?);
+            if *self.peek() == Token::Comma {
+                self.bump();
+            }
+        }
+        self.expect(Token::RParen)?;
+        Ok(args)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Token::Int(value) => {
+                self.bump();
+                Ok(Expr::Int(value))
+            }
+            Token::LParen => {
+                self.bump();
+                let inner = self.expr()?;
+                self.expect(Token::RParen)?;
+                Ok(inner)
+            }
+            Token::Ident(word) => match word.as_str() {
+                "true" => {
+                    self.bump();
+                    Ok(Expr::Bool(true))
+                }
+                "false" => {
+                    self.bump();
+                    Ok(Expr::Bool(false))
+                }
+                "null" => {
+                    self.bump();
+                    Ok(Expr::Null)
+                }
+                "nondet" | "__VERIFIER_nondet_int" => {
+                    self.bump();
+                    if *self.peek() == Token::LParen {
+                        self.bump();
+                        self.expect(Token::RParen)?;
+                    }
+                    Ok(Expr::Nondet)
+                }
+                "new" => {
+                    self.bump();
+                    let data = self.eat_ident()?;
+                    let args = self.call_args()?;
+                    Ok(Expr::New(data, args))
+                }
+                _ => {
+                    let name = self.eat_ident()?;
+                    if *self.peek() == Token::LParen {
+                        let args = self.call_args()?;
+                        Ok(Expr::Call(name, args))
+                    } else if *self.peek() == Token::Dot {
+                        self.bump();
+                        let field = self.eat_ident()?;
+                        Ok(Expr::Field(name, field))
+                    } else {
+                        Ok(Expr::Var(name))
+                    }
+                }
+            },
+            other => self.error(format!("expected expression, found `{other}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_foo_example() {
+        let source = r#"
+            void foo(int x, int y)
+            { if (x < 0) { return; } else { foo(x + y, y); } }
+        "#;
+        let program = parse_program(source).unwrap();
+        assert_eq!(program.methods.len(), 1);
+        let foo = &program.methods[0];
+        assert_eq!(foo.name, "foo");
+        assert_eq!(foo.params.len(), 2);
+        assert!(foo.spec.is_none());
+        assert!(foo.body.is_some());
+    }
+
+    #[test]
+    fn parse_spec_with_temporal() {
+        let source = r#"
+            int Ack(int m, int n)
+              requires true ensures res >= n + 1;
+            { if (m == 0) { return n + 1; }
+              else { if (n == 0) { return Ack(m - 1, 1); }
+                     else { return Ack(m - 1, Ack(m, n - 1)); } } }
+        "#;
+        let program = parse_program(source).unwrap();
+        let ack = program.method("Ack").unwrap();
+        let spec = ack.spec.as_ref().unwrap();
+        let scenarios = spec.scenarios();
+        assert_eq!(scenarios.len(), 1);
+        assert!(scenarios[0].1.requires.temporal.is_unknown());
+    }
+
+    #[test]
+    fn parse_case_spec() {
+        let source = r#"
+            void foo(int x, int y)
+              case {
+                x < 0 -> requires Term ensures true;
+                x >= 0 -> case {
+                  y < 0 -> requires Term[x] ensures true;
+                  y >= 0 -> requires Loop ensures false;
+                };
+              }
+            { if (x < 0) { return; } else { foo(x + y, y); } }
+        "#;
+        let program = parse_program(source).unwrap();
+        let spec = program.method("foo").unwrap().spec.as_ref().unwrap();
+        let scenarios = spec.scenarios();
+        assert_eq!(scenarios.len(), 3);
+        assert!(matches!(
+            scenarios[1].1.requires.temporal,
+            TemporalSpec::Term(ref m) if m.len() == 1
+        ));
+        assert!(matches!(
+            scenarios[2].1.requires.temporal,
+            TemporalSpec::Loop
+        ));
+        assert_eq!(scenarios[2].1.ensures.pure, Expr::Bool(false));
+    }
+
+    #[test]
+    fn parse_heap_spec_and_predicates() {
+        let source = r#"
+            data node { node next; }
+            pred lseg(root, q, n) == root = q & n = 0
+               or root -> node(p) * lseg(p, q, n - 1);
+            pred cll(root, n) == root -> node(p) * lseg(p, root, n - 1);
+
+            void append(node x, node y)
+              requires lseg(x, null, n) & x != null ensures lseg(x, y, n);
+              requires cll(x, n) ensures true;
+            { if (x.next == null) { x.next = y; } else { append(x.next, y); } }
+        "#;
+        let program = parse_program(source).unwrap();
+        assert_eq!(program.datas.len(), 1);
+        assert_eq!(program.preds.len(), 2);
+        let lseg = program.pred("lseg").unwrap();
+        assert_eq!(lseg.params, vec!["root", "q", "n"]);
+        assert_eq!(lseg.branches.len(), 2);
+        let append = program.method("append").unwrap();
+        let scenarios = append.spec.as_ref().unwrap().scenarios();
+        assert_eq!(scenarios.len(), 2);
+        assert!(!scenarios[0].1.requires.heap.is_emp());
+    }
+
+    #[test]
+    fn parse_while_and_locals() {
+        let source = r#"
+            void count(int n)
+            { int i = 0;
+              while (i < n) { i = i + 1; }
+              return;
+            }
+        "#;
+        let program = parse_program(source).unwrap();
+        let body = program.method("count").unwrap().body.as_ref().unwrap();
+        assert!(matches!(
+            body.stmts[0],
+            Stmt::VarDecl(Type::Int, _, Some(_))
+        ));
+        assert!(matches!(body.stmts[1], Stmt::While(..)));
+    }
+
+    #[test]
+    fn parse_nondet_and_assume() {
+        let source = r#"
+            void main()
+            { int x = nondet();
+              assume(x > 0);
+              while (x > 0) { x = x - 1; }
+            }
+        "#;
+        let program = parse_program(source).unwrap();
+        let body = program.method("main").unwrap().body.as_ref().unwrap();
+        assert!(matches!(
+            body.stmts[0],
+            Stmt::VarDecl(_, _, Some(Expr::Nondet))
+        ));
+        assert!(matches!(body.stmts[1], Stmt::Assume(_)));
+    }
+
+    #[test]
+    fn parse_else_if_chain() {
+        let source = r#"
+            int sign(int x)
+            { if (x > 0) { return 1; } else if (x < 0) { return -1; } else { return 0; } }
+        "#;
+        let program = parse_program(source).unwrap();
+        let body = program.method("sign").unwrap().body.as_ref().unwrap();
+        match &body.stmts[0] {
+            Stmt::If(_, _, else_block) => {
+                assert!(matches!(else_block.stmts[0], Stmt::If(..)));
+            }
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_field_assignment_and_new() {
+        let source = r#"
+            data node { node next; }
+            void build(node x)
+            { node y = new node(null);
+              x.next = y;
+            }
+        "#;
+        let program = parse_program(source).unwrap();
+        let body = program.method("build").unwrap().body.as_ref().unwrap();
+        assert!(matches!(
+            body.stmts[0],
+            Stmt::VarDecl(Type::Data(_), _, Some(Expr::New(..)))
+        ));
+        assert!(matches!(body.stmts[1], Stmt::FieldAssign(..)));
+    }
+
+    #[test]
+    fn parse_primitive_method_without_body() {
+        let source = r#"
+            int abs(int x) requires true ensures res >= 0; ;
+        "#;
+        // Note the second `;` terminates the (absent) body.
+        let program = parse_program(source).unwrap();
+        assert!(program.method("abs").unwrap().body.is_none());
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let source = "void f(int x)\n{ x = ; }";
+        let err = parse_program(source).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("expected expression"));
+    }
+
+    #[test]
+    fn parse_expr_precedence() {
+        let e = parse_expr("1 + 2 * 3 < 4 && x >= 0 || y == 1").unwrap();
+        // Top level must be ||
+        match e {
+            Expr::Binary(BinOp::Or, lhs, _) => match *lhs {
+                Expr::Binary(BinOp::And, ..) => {}
+                other => panic!("expected &&, got {other:?}"),
+            },
+            other => panic!("expected ||, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn operators_by_ref_params() {
+        let source = r#"
+            void swapish(ref int a, int b) { a = b; }
+        "#;
+        let program = parse_program(source).unwrap();
+        let m = program.method("swapish").unwrap();
+        assert!(m.params[0].by_ref);
+        assert!(!m.params[1].by_ref);
+    }
+}

@@ -1,0 +1,327 @@
+//! Pretty printing of programs, specifications and expressions back into the surface
+//! syntax (round-trippable through the parser for the constructs the parser accepts).
+
+use crate::ast::{BinOp, Block, Expr, MethodDecl, Program, Stmt, Type, UnOp};
+use crate::spec::{HeapFormula, Spec, SpecPair, TemporalSpec};
+use std::fmt::Write;
+
+/// Pretty prints a type.
+pub fn type_str(ty: &Type) -> String {
+    match ty {
+        Type::Int => "int".to_string(),
+        Type::Bool => "bool".to_string(),
+        Type::Void => "void".to_string(),
+        Type::Data(name) => name.clone(),
+    }
+}
+
+/// Pretty prints an expression.
+pub fn expr_str(expr: &Expr) -> String {
+    fn bin_op(op: BinOp) -> &'static str {
+        match op {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        }
+    }
+    match expr {
+        Expr::Int(v) => v.to_string(),
+        Expr::Bool(b) => b.to_string(),
+        Expr::Null => "null".to_string(),
+        Expr::Var(v) => v.clone(),
+        Expr::Field(v, f) => format!("{v}.{f}"),
+        Expr::Unary(UnOp::Neg, e) => format!("-({})", expr_str(e)),
+        Expr::Unary(UnOp::Not, e) => format!("!({})", expr_str(e)),
+        Expr::Binary(op, a, b) => format!("({} {} {})", expr_str(a), bin_op(*op), expr_str(b)),
+        Expr::Call(name, args) => format!(
+            "{name}({})",
+            args.iter().map(expr_str).collect::<Vec<_>>().join(", ")
+        ),
+        Expr::New(name, args) => format!(
+            "new {name}({})",
+            args.iter().map(expr_str).collect::<Vec<_>>().join(", ")
+        ),
+        Expr::Nondet => "nondet()".to_string(),
+    }
+}
+
+/// Pretty prints a heap formula.
+pub fn heap_str(heap: &HeapFormula) -> String {
+    match heap {
+        HeapFormula::Emp => "emp".to_string(),
+        HeapFormula::PointsTo { var, data, args } => format!(
+            "{var} -> {data}({})",
+            args.iter().map(expr_str).collect::<Vec<_>>().join(", ")
+        ),
+        HeapFormula::Pred { name, args } => format!(
+            "{name}({})",
+            args.iter().map(expr_str).collect::<Vec<_>>().join(", ")
+        ),
+        HeapFormula::Star(parts) => parts.iter().map(heap_str).collect::<Vec<_>>().join(" * "),
+    }
+}
+
+/// Pretty prints a temporal annotation.
+pub fn temporal_str(temporal: &TemporalSpec) -> String {
+    match temporal {
+        TemporalSpec::Term(measure) if measure.is_empty() => "Term".to_string(),
+        TemporalSpec::Term(measure) => format!(
+            "Term[{}]",
+            measure.iter().map(expr_str).collect::<Vec<_>>().join(", ")
+        ),
+        TemporalSpec::Loop => "Loop".to_string(),
+        TemporalSpec::MayLoop => "MayLoop".to_string(),
+        TemporalSpec::Unknown => "Unknown".to_string(),
+    }
+}
+
+fn spec_pair_str(pair: &SpecPair, indent: &str) -> String {
+    let mut req_parts = Vec::new();
+    if !pair.requires.heap.is_emp() {
+        req_parts.push(heap_str(&pair.requires.heap));
+    }
+    if pair.requires.pure != Expr::Bool(true) || req_parts.is_empty() {
+        req_parts.push(expr_str(&pair.requires.pure));
+    }
+    if !pair.requires.temporal.is_unknown() {
+        req_parts.push(temporal_str(&pair.requires.temporal));
+    }
+    let mut ens_parts = Vec::new();
+    if !pair.ensures.heap.is_emp() {
+        ens_parts.push(heap_str(&pair.ensures.heap));
+    }
+    if pair.ensures.pure != Expr::Bool(true) || ens_parts.is_empty() {
+        ens_parts.push(expr_str(&pair.ensures.pure));
+    }
+    format!(
+        "{indent}requires {} ensures {};",
+        req_parts.join(" & "),
+        ens_parts.join(" & ")
+    )
+}
+
+/// Pretty prints a specification with the given indentation.
+pub fn spec_str(spec: &Spec, indent: &str) -> String {
+    match spec {
+        Spec::Pairs(pairs) => pairs
+            .iter()
+            .map(|p| spec_pair_str(p, indent))
+            .collect::<Vec<_>>()
+            .join("\n"),
+        Spec::Case(arms) => {
+            let mut out = format!("{indent}case {{\n");
+            let deeper = format!("{indent}  ");
+            for (guard, inner) in arms {
+                let _ = writeln!(
+                    out,
+                    "{deeper}{} ->\n{}",
+                    expr_str(guard),
+                    spec_str(inner, &format!("{deeper}  "))
+                );
+            }
+            let _ = write!(out, "{indent}}}");
+            out
+        }
+    }
+}
+
+fn stmt_str(stmt: &Stmt, indent: &str, out: &mut String) {
+    match stmt {
+        Stmt::Skip => {
+            let _ = writeln!(out, "{indent};");
+        }
+        Stmt::VarDecl(ty, name, None) => {
+            let _ = writeln!(out, "{indent}{} {name};", type_str(ty));
+        }
+        Stmt::VarDecl(ty, name, Some(init)) => {
+            let _ = writeln!(out, "{indent}{} {name} = {};", type_str(ty), expr_str(init));
+        }
+        Stmt::Assign(name, value) => {
+            let _ = writeln!(out, "{indent}{name} = {};", expr_str(value));
+        }
+        Stmt::FieldAssign(base, field, value) => {
+            let _ = writeln!(out, "{indent}{base}.{field} = {};", expr_str(value));
+        }
+        Stmt::If(cond, then_block, else_block) => {
+            let _ = writeln!(out, "{indent}if ({}) {{", expr_str(cond));
+            block_str(then_block, &format!("{indent}  "), out);
+            if else_block.stmts.is_empty() {
+                let _ = writeln!(out, "{indent}}}");
+            } else {
+                let _ = writeln!(out, "{indent}}} else {{");
+                block_str(else_block, &format!("{indent}  "), out);
+                let _ = writeln!(out, "{indent}}}");
+            }
+        }
+        Stmt::While(cond, body) => {
+            let _ = writeln!(out, "{indent}while ({}) {{", expr_str(cond));
+            block_str(body, &format!("{indent}  "), out);
+            let _ = writeln!(out, "{indent}}}");
+        }
+        Stmt::Return(None) => {
+            let _ = writeln!(out, "{indent}return;");
+        }
+        Stmt::Return(Some(v)) => {
+            let _ = writeln!(out, "{indent}return {};", expr_str(v));
+        }
+        Stmt::ExprStmt(e) => {
+            let _ = writeln!(out, "{indent}{};", expr_str(e));
+        }
+        Stmt::Assume(e) => {
+            let _ = writeln!(out, "{indent}assume({});", expr_str(e));
+        }
+    }
+}
+
+fn block_str(block: &Block, indent: &str, out: &mut String) {
+    for stmt in &block.stmts {
+        stmt_str(stmt, indent, out);
+    }
+}
+
+/// Pretty prints a method declaration.
+pub fn method_str(method: &MethodDecl) -> String {
+    let params = method
+        .params
+        .iter()
+        .map(|p| {
+            format!(
+                "{}{} {}",
+                if p.by_ref { "ref " } else { "" },
+                type_str(&p.ty),
+                p.name
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    let mut out = format!("{} {}({})\n", type_str(&method.ret), method.name, params);
+    if let Some(spec) = &method.spec {
+        let _ = writeln!(out, "{}", spec_str(spec, "  "));
+    }
+    match &method.body {
+        None => {
+            let _ = writeln!(out, "  ;");
+        }
+        Some(body) => {
+            let _ = writeln!(out, "{{");
+            block_str(body, "  ", &mut out);
+            let _ = writeln!(out, "}}");
+        }
+    }
+    out
+}
+
+/// Pretty prints a whole program.
+pub fn program_str(program: &Program) -> String {
+    let mut out = String::new();
+    for data in &program.datas {
+        let _ = writeln!(out, "data {} {{", data.name);
+        for (ty, field) in &data.fields {
+            let _ = writeln!(out, "  {} {field};", type_str(ty));
+        }
+        let _ = writeln!(out, "}}\n");
+    }
+    for pred in &program.preds {
+        let branches = pred
+            .branches
+            .iter()
+            .map(|(heap, pure)| format!("{} & {}", heap_str(heap), expr_str(pure)))
+            .collect::<Vec<_>>()
+            .join("\n  or ");
+        let _ = writeln!(
+            out,
+            "pred {}({}) == {branches};\n",
+            pred.name,
+            pred.params.join(", ")
+        );
+    }
+    for method in &program.methods {
+        let _ = writeln!(out, "{}", method_str(method));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn roundtrip_simple_program() {
+        let source = r#"
+            void foo(int x, int y)
+            { if (x < 0) { return; } else { foo(x + y, y); } }
+        "#;
+        let program = parse_program(source).unwrap();
+        let printed = program_str(&program);
+        let reparsed = parse_program(&printed).expect("pretty output parses");
+        assert_eq!(program, reparsed);
+    }
+
+    #[test]
+    fn roundtrip_with_loops_and_locals() {
+        let source = r#"
+            void count(int n)
+            { int i = 0;
+              while (i < n) { i = i + 1; }
+              return;
+            }
+        "#;
+        let program = parse_program(source).unwrap();
+        let printed = program_str(&program);
+        let reparsed = parse_program(&printed).expect("pretty output parses");
+        assert_eq!(program, reparsed);
+    }
+
+    #[test]
+    fn temporal_rendering() {
+        assert_eq!(temporal_str(&TemporalSpec::Term(vec![])), "Term");
+        assert_eq!(
+            temporal_str(&TemporalSpec::Term(vec![Expr::var("x"), Expr::var("y")])),
+            "Term[x, y]"
+        );
+        assert_eq!(temporal_str(&TemporalSpec::Loop), "Loop");
+        assert_eq!(temporal_str(&TemporalSpec::MayLoop), "MayLoop");
+    }
+
+    #[test]
+    fn heap_rendering() {
+        let h = HeapFormula::star(vec![
+            HeapFormula::PointsTo {
+                var: "x".to_string(),
+                data: "node".to_string(),
+                args: vec![Expr::var("p")],
+            },
+            HeapFormula::Pred {
+                name: "lseg".to_string(),
+                args: vec![Expr::var("p"), Expr::Null, Expr::var("n")],
+            },
+        ]);
+        assert_eq!(heap_str(&h), "x -> node(p) * lseg(p, null, n)");
+    }
+
+    #[test]
+    fn case_spec_rendering_mentions_all_arms() {
+        let source = r#"
+            void foo(int x, int y)
+              case {
+                x < 0 -> requires Term ensures true;
+                x >= 0 -> requires Loop ensures false;
+              }
+            { return; }
+        "#;
+        let program = parse_program(source).unwrap();
+        let printed = spec_str(program.methods[0].spec.as_ref().unwrap(), "");
+        assert!(printed.contains("Term"));
+        assert!(printed.contains("Loop"));
+        assert!(printed.contains("case"));
+    }
+}

@@ -1,0 +1,267 @@
+//! Specification syntax: pre/post pairs, case specifications, heap formulas and the
+//! temporal predicates of the paper (Fig. 2).
+
+use crate::ast::Expr;
+
+/// A temporal (pre-)predicate annotation.
+///
+/// `Unknown` corresponds to the paper's unknown pre-predicate `Upr(v)`: the method's
+/// termination behaviour is to be inferred. Methods without any temporal annotation are
+/// treated as `Unknown` by the inference driver.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TemporalSpec {
+    /// Definite termination with the given lexicographic measure (possibly empty).
+    Term(Vec<Expr>),
+    /// Definite non-termination.
+    Loop,
+    /// Possible non-termination (unknown outcome).
+    MayLoop,
+    /// To be inferred (the unknown pre-predicate `Upr`).
+    Unknown,
+}
+
+impl TemporalSpec {
+    /// Returns `true` if this annotation still needs inference.
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, TemporalSpec::Unknown)
+    }
+}
+
+/// A (syntactic) separation-logic heap formula.
+///
+/// The semantics — well-formedness, unfolding, entailment and the size abstraction used
+/// by the termination analysis — are implemented in the `tnt-heap` crate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum HeapFormula {
+    /// The empty heap.
+    Emp,
+    /// A points-to assertion `v ↦ c(e₁, …, eₙ)`.
+    PointsTo {
+        /// Root variable.
+        var: String,
+        /// Data type name.
+        data: String,
+        /// Field values in declaration order.
+        args: Vec<Expr>,
+    },
+    /// An instance of a declared heap predicate `p(e₁, …, eₙ)`.
+    Pred {
+        /// Predicate name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Separating conjunction of sub-heaps.
+    Star(Vec<HeapFormula>),
+}
+
+impl HeapFormula {
+    /// Separating conjunction helper (flattens nested stars and drops `emp`).
+    pub fn star(parts: Vec<HeapFormula>) -> HeapFormula {
+        let mut flat = Vec::new();
+        for p in parts {
+            match p {
+                HeapFormula::Emp => {}
+                HeapFormula::Star(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => HeapFormula::Emp,
+            1 => flat.pop().expect("len checked"),
+            _ => HeapFormula::Star(flat),
+        }
+    }
+
+    /// Returns `true` for the empty heap.
+    pub fn is_emp(&self) -> bool {
+        matches!(self, HeapFormula::Emp)
+    }
+
+    /// The list of atomic heap assertions (points-to and predicate instances).
+    pub fn atoms(&self) -> Vec<&HeapFormula> {
+        match self {
+            HeapFormula::Emp => vec![],
+            HeapFormula::Star(parts) => parts.iter().flat_map(|p| p.atoms()).collect(),
+            other => vec![other],
+        }
+    }
+}
+
+/// The `requires` half of a specification.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Requires {
+    /// Heap part of the precondition.
+    pub heap: HeapFormula,
+    /// Pure part of the precondition (a boolean expression over the parameters).
+    pub pure: Expr,
+    /// Temporal annotation.
+    pub temporal: TemporalSpec,
+}
+
+impl Requires {
+    /// A `requires true` with unknown temporal status.
+    pub fn trivially_true() -> Self {
+        Requires {
+            heap: HeapFormula::Emp,
+            pure: Expr::Bool(true),
+            temporal: TemporalSpec::Unknown,
+        }
+    }
+}
+
+/// The `ensures` half of a specification.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Ensures {
+    /// Heap part of the postcondition.
+    pub heap: HeapFormula,
+    /// Pure part of the postcondition (may mention `res`).
+    pub pure: Expr,
+}
+
+impl Ensures {
+    /// An `ensures true`.
+    pub fn trivially_true() -> Self {
+        Ensures {
+            heap: HeapFormula::Emp,
+            pure: Expr::Bool(true),
+        }
+    }
+}
+
+/// A single `requires ... ensures ...;` pair.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpecPair {
+    /// Precondition.
+    pub requires: Requires,
+    /// Postcondition.
+    pub ensures: Ensures,
+}
+
+/// A method specification: one or more pre/post pairs, or a case-structured spec
+/// (the output form of the paper's inference, also accepted as input).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Spec {
+    /// Plain `requires/ensures` pairs (several pairs = several independent scenarios,
+    /// as in the paper's `append` example, Fig. 4).
+    Pairs(Vec<SpecPair>),
+    /// A case-structured specification: guard → nested spec.
+    Case(Vec<(Expr, Spec)>),
+}
+
+impl Spec {
+    /// A single trivially-true pair with unknown temporal status.
+    pub fn unknown() -> Spec {
+        Spec::Pairs(vec![SpecPair {
+            requires: Requires::trivially_true(),
+            ensures: Ensures::trivially_true(),
+        }])
+    }
+
+    /// Flattens the spec into a list of `(path guards, pair)` scenarios, where the path
+    /// guards are the case conditions leading to the pair.
+    pub fn scenarios(&self) -> Vec<(Vec<Expr>, SpecPair)> {
+        fn go(spec: &Spec, guards: &mut Vec<Expr>, out: &mut Vec<(Vec<Expr>, SpecPair)>) {
+            match spec {
+                Spec::Pairs(pairs) => {
+                    for p in pairs {
+                        out.push((guards.clone(), p.clone()));
+                    }
+                }
+                Spec::Case(cases) => {
+                    for (guard, inner) in cases {
+                        guards.push(guard.clone());
+                        go(inner, guards, out);
+                        guards.pop();
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        go(self, &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// Returns `true` if any scenario still has an unknown temporal annotation.
+    pub fn has_unknown_temporal(&self) -> bool {
+        self.scenarios()
+            .iter()
+            .any(|(_, pair)| pair.requires.temporal.is_unknown())
+    }
+
+    /// Returns `true` if any scenario mentions a non-empty heap.
+    pub fn mentions_heap(&self) -> bool {
+        self.scenarios()
+            .iter()
+            .any(|(_, pair)| !pair.requires.heap.is_emp() || !pair.ensures.heap.is_emp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BinOp, Expr};
+
+    #[test]
+    fn star_flattens_and_drops_emp() {
+        let h = HeapFormula::star(vec![
+            HeapFormula::Emp,
+            HeapFormula::star(vec![
+                HeapFormula::Pred {
+                    name: "lseg".to_string(),
+                    args: vec![Expr::var("x")],
+                },
+                HeapFormula::Emp,
+            ]),
+        ]);
+        match &h {
+            HeapFormula::Pred { name, .. } => assert_eq!(name, "lseg"),
+            other => panic!("expected single predicate, got {other:?}"),
+        }
+        assert_eq!(h.atoms().len(), 1);
+        assert!(HeapFormula::star(vec![]).is_emp());
+    }
+
+    #[test]
+    fn scenarios_flatten_case_specs() {
+        let term = SpecPair {
+            requires: Requires {
+                heap: HeapFormula::Emp,
+                pure: Expr::Bool(true),
+                temporal: TemporalSpec::Term(vec![Expr::var("x")]),
+            },
+            ensures: Ensures::trivially_true(),
+        };
+        let looping = SpecPair {
+            requires: Requires {
+                heap: HeapFormula::Emp,
+                pure: Expr::Bool(true),
+                temporal: TemporalSpec::Loop,
+            },
+            ensures: Ensures {
+                heap: HeapFormula::Emp,
+                pure: Expr::Bool(false),
+            },
+        };
+        let spec = Spec::Case(vec![
+            (
+                Expr::bin(BinOp::Lt, Expr::var("x"), Expr::int(0)),
+                Spec::Pairs(vec![term]),
+            ),
+            (
+                Expr::bin(BinOp::Ge, Expr::var("x"), Expr::int(0)),
+                Spec::Pairs(vec![looping]),
+            ),
+        ]);
+        let scenarios = spec.scenarios();
+        assert_eq!(scenarios.len(), 2);
+        assert_eq!(scenarios[0].0.len(), 1);
+        assert!(!spec.has_unknown_temporal());
+    }
+
+    #[test]
+    fn unknown_spec_is_unknown() {
+        assert!(Spec::unknown().has_unknown_temporal());
+        assert!(!Spec::unknown().mentions_heap());
+    }
+}

@@ -1,0 +1,433 @@
+//! A simple type checker for the surface language.
+//!
+//! The checker validates variable scoping, operator sorts, call signatures, field
+//! accesses and return types. It is intentionally permissive about specifications
+//! (which may mention logical variables that do not occur in the program, as in the
+//! paper's `lseg(x, null, n)` where `n` is a ghost size variable).
+
+use crate::ast::{BinOp, Block, Expr, MethodDecl, Program, Stmt, Type, UnOp};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A type error with a message (method name and context included).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TypeError {
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type error: {}", self.message)
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, TypeError> {
+    Err(TypeError {
+        message: message.into(),
+    })
+}
+
+struct Context<'a> {
+    program: &'a Program,
+    vars: Vec<HashMap<String, Type>>,
+    current: &'a MethodDecl,
+}
+
+impl<'a> Context<'a> {
+    fn push_scope(&mut self) {
+        self.vars.push(HashMap::new());
+    }
+
+    fn pop_scope(&mut self) {
+        self.vars.pop();
+    }
+
+    fn declare(&mut self, name: &str, ty: Type) {
+        self.vars
+            .last_mut()
+            .expect("at least one scope")
+            .insert(name.to_string(), ty);
+    }
+
+    fn lookup(&self, name: &str) -> Option<&Type> {
+        self.vars.iter().rev().find_map(|scope| scope.get(name))
+    }
+
+    fn field_type(&self, data: &str, field: &str) -> Option<&Type> {
+        self.program
+            .data(data)
+            .and_then(|d| d.fields.iter().find(|(_, f)| f == field).map(|(t, _)| t))
+    }
+}
+
+/// Checks a whole program.
+///
+/// # Errors
+///
+/// Returns the first [`TypeError`] found.
+pub fn check_program(program: &Program) -> Result<(), TypeError> {
+    // Data declarations: field types must exist.
+    for data in &program.datas {
+        for (ty, field) in &data.fields {
+            if let Type::Data(name) = ty {
+                if program.data(name).is_none() {
+                    return err(format!(
+                        "data `{}`: field `{}` has unknown type `{}`",
+                        data.name, field, name
+                    ));
+                }
+            }
+        }
+    }
+    // Duplicate method names.
+    for (i, m) in program.methods.iter().enumerate() {
+        if program.methods[..i]
+            .iter()
+            .any(|other| other.name == m.name)
+        {
+            return err(format!("duplicate method `{}`", m.name));
+        }
+    }
+    for method in &program.methods {
+        check_method(program, method)?;
+    }
+    Ok(())
+}
+
+fn check_method(program: &Program, method: &MethodDecl) -> Result<(), TypeError> {
+    let mut ctx = Context {
+        program,
+        vars: vec![HashMap::new()],
+        current: method,
+    };
+    for p in &method.params {
+        if let Type::Data(name) = &p.ty {
+            if program.data(name).is_none() {
+                return err(format!(
+                    "method `{}`: parameter `{}` has unknown type `{}`",
+                    method.name, p.name, name
+                ));
+            }
+        }
+        if p.ty == Type::Void {
+            return err(format!(
+                "method `{}`: parameter `{}` cannot have type void",
+                method.name, p.name
+            ));
+        }
+        ctx.declare(&p.name, p.ty.clone());
+    }
+    if method.body.is_none() && method.spec.is_none() {
+        return err(format!(
+            "method `{}` has neither a body nor a specification",
+            method.name
+        ));
+    }
+    if let Some(body) = &method.body {
+        check_block(&mut ctx, body)?;
+    }
+    Ok(())
+}
+
+fn check_block(ctx: &mut Context<'_>, block: &Block) -> Result<(), TypeError> {
+    ctx.push_scope();
+    for stmt in &block.stmts {
+        check_stmt(ctx, stmt)?;
+    }
+    ctx.pop_scope();
+    Ok(())
+}
+
+fn check_stmt(ctx: &mut Context<'_>, stmt: &Stmt) -> Result<(), TypeError> {
+    let method = ctx.current.name.clone();
+    match stmt {
+        Stmt::Skip => Ok(()),
+        Stmt::VarDecl(ty, name, init) => {
+            if *ty == Type::Void {
+                return err(format!("`{method}`: variable `{name}` cannot be void"));
+            }
+            if let Some(init) = init {
+                let init_ty = infer_expr(ctx, init)?;
+                require_assignable(&method, name, ty, &init_ty)?;
+            }
+            ctx.declare(name, ty.clone());
+            Ok(())
+        }
+        Stmt::Assign(name, value) => {
+            let Some(var_ty) = ctx.lookup(name).cloned() else {
+                return err(format!(
+                    "`{method}`: assignment to undeclared variable `{name}`"
+                ));
+            };
+            let value_ty = infer_expr(ctx, value)?;
+            require_assignable(&method, name, &var_ty, &value_ty)
+        }
+        Stmt::FieldAssign(base, field, value) => {
+            let Some(base_ty) = ctx.lookup(base).cloned() else {
+                return err(format!("`{method}`: unknown variable `{base}`"));
+            };
+            let Type::Data(data) = base_ty else {
+                return err(format!("`{method}`: `{base}` is not a data value"));
+            };
+            let Some(field_ty) = ctx.field_type(&data, field).cloned() else {
+                return err(format!("`{method}`: type `{data}` has no field `{field}`"));
+            };
+            let value_ty = infer_expr(ctx, value)?;
+            require_assignable(&method, field, &field_ty, &value_ty)
+        }
+        Stmt::If(cond, then_block, else_block) => {
+            let cond_ty = infer_expr(ctx, cond)?;
+            if cond_ty != Type::Bool {
+                return err(format!("`{method}`: if condition must be boolean"));
+            }
+            check_block(ctx, then_block)?;
+            check_block(ctx, else_block)
+        }
+        Stmt::While(cond, body) => {
+            let cond_ty = infer_expr(ctx, cond)?;
+            if cond_ty != Type::Bool {
+                return err(format!("`{method}`: while condition must be boolean"));
+            }
+            check_block(ctx, body)
+        }
+        Stmt::Assume(cond) => {
+            let cond_ty = infer_expr(ctx, cond)?;
+            if cond_ty != Type::Bool {
+                return err(format!("`{method}`: assume condition must be boolean"));
+            }
+            Ok(())
+        }
+        Stmt::Return(value) => {
+            let ret = ctx.current.ret.clone();
+            match (value, ret) {
+                (None, Type::Void) => Ok(()),
+                (None, _) => err(format!("`{method}`: missing return value")),
+                (Some(_), Type::Void) => err(format!("`{method}`: void method returns a value")),
+                (Some(v), expected) => {
+                    let actual = infer_expr(ctx, v)?;
+                    require_assignable(&method, "return value", &expected, &actual)
+                }
+            }
+        }
+        Stmt::ExprStmt(expr) => {
+            infer_expr(ctx, expr)?;
+            Ok(())
+        }
+    }
+}
+
+fn require_assignable(
+    method: &str,
+    what: &str,
+    expected: &Type,
+    actual: &Type,
+) -> Result<(), TypeError> {
+    let ok = expected == actual
+        || matches!((expected, actual), (Type::Data(_), Type::Data(n)) if n == "null")
+        || matches!(actual, Type::Data(n) if n == "null" && expected.is_data());
+    if ok {
+        Ok(())
+    } else {
+        err(format!(
+            "`{method}`: cannot assign a value of type {actual:?} to `{what}` of type {expected:?}"
+        ))
+    }
+}
+
+fn infer_expr(ctx: &Context<'_>, expr: &Expr) -> Result<Type, TypeError> {
+    let method = &ctx.current.name;
+    match expr {
+        Expr::Int(_) => Ok(Type::Int),
+        Expr::Bool(_) => Ok(Type::Bool),
+        Expr::Nondet => Ok(Type::Int),
+        Expr::Null => Ok(Type::Data("null".to_string())),
+        Expr::Var(name) => match ctx.lookup(name) {
+            Some(ty) => Ok(ty.clone()),
+            None => err(format!("`{method}`: unknown variable `{name}`")),
+        },
+        Expr::Field(base, field) => {
+            let Some(Type::Data(data)) = ctx.lookup(base) else {
+                return err(format!("`{method}`: `{base}` is not a data value"));
+            };
+            match ctx.field_type(data, field) {
+                Some(ty) => Ok(ty.clone()),
+                None => err(format!("`{method}`: type `{data}` has no field `{field}`")),
+            }
+        }
+        Expr::Unary(UnOp::Neg, inner) => {
+            if infer_expr(ctx, inner)? == Type::Int {
+                Ok(Type::Int)
+            } else {
+                err(format!("`{method}`: arithmetic negation of a non-integer"))
+            }
+        }
+        Expr::Unary(UnOp::Not, inner) => {
+            if infer_expr(ctx, inner)? == Type::Bool {
+                Ok(Type::Bool)
+            } else {
+                err(format!("`{method}`: boolean negation of a non-boolean"))
+            }
+        }
+        Expr::Binary(op, lhs, rhs) => {
+            let lt = infer_expr(ctx, lhs)?;
+            let rt = infer_expr(ctx, rhs)?;
+            if op.is_arithmetic() {
+                if lt == Type::Int && rt == Type::Int {
+                    Ok(Type::Int)
+                } else {
+                    err(format!("`{method}`: arithmetic on non-integers"))
+                }
+            } else if op.is_logical() {
+                if lt == Type::Bool && rt == Type::Bool {
+                    Ok(Type::Bool)
+                } else {
+                    err(format!("`{method}`: boolean connective on non-booleans"))
+                }
+            } else {
+                // Comparisons: either both integers, or (for == and !=) both references.
+                let both_int = lt == Type::Int && rt == Type::Int;
+                let ref_eq = matches!(op, BinOp::Eq | BinOp::Ne) && lt.is_data() && rt.is_data();
+                if both_int || ref_eq {
+                    Ok(Type::Bool)
+                } else {
+                    err(format!(
+                        "`{method}`: invalid comparison between {lt:?} and {rt:?}"
+                    ))
+                }
+            }
+        }
+        Expr::Call(name, args) => {
+            let Some(callee) = ctx.program.method(name) else {
+                return err(format!("`{method}`: call to unknown method `{name}`"));
+            };
+            if callee.params.len() != args.len() {
+                return err(format!(
+                    "`{method}`: `{name}` expects {} arguments, got {}",
+                    callee.params.len(),
+                    args.len()
+                ));
+            }
+            for (param, arg) in callee.params.iter().zip(args) {
+                let arg_ty = infer_expr(ctx, arg)?;
+                require_assignable(method, &param.name, &param.ty, &arg_ty)?;
+                if param.by_ref && !matches!(arg, Expr::Var(_)) {
+                    return err(format!(
+                        "`{method}`: argument for by-ref parameter `{}` must be a variable",
+                        param.name
+                    ));
+                }
+            }
+            Ok(callee.ret.clone())
+        }
+        Expr::New(data, args) => {
+            let Some(decl) = ctx.program.data(data) else {
+                return err(format!("`{method}`: unknown data type `{data}`"));
+            };
+            if decl.fields.len() != args.len() {
+                return err(format!(
+                    "`{method}`: `new {data}` expects {} fields, got {}",
+                    decl.fields.len(),
+                    args.len()
+                ));
+            }
+            for ((field_ty, field), arg) in decl.fields.iter().zip(args) {
+                let arg_ty = infer_expr(ctx, arg)?;
+                require_assignable(method, field, field_ty, &arg_ty)?;
+            }
+            Ok(Type::Data(data.clone()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn check(source: &str) -> Result<(), TypeError> {
+        check_program(&parse_program(source).unwrap())
+    }
+
+    #[test]
+    fn well_typed_program_passes() {
+        let source = r#"
+            data node { node next; }
+            int length(node x)
+            { if (x == null) { return 0; } else { return 1 + length(x.next); } }
+        "#;
+        assert!(check(source).is_ok());
+    }
+
+    #[test]
+    fn unknown_variable_rejected() {
+        let err = check("void f(int x) { y = 1; }").unwrap_err();
+        assert!(err.message.contains("undeclared"));
+    }
+
+    #[test]
+    fn condition_must_be_boolean() {
+        let err = check("void f(int x) { if (x + 1) { return; } else { return; } }").unwrap_err();
+        assert!(err.message.contains("boolean"));
+    }
+
+    #[test]
+    fn call_arity_checked() {
+        let err = check("void g(int a, int b) { return; } void f(int x) { g(x); }").unwrap_err();
+        assert!(err.message.contains("expects 2 arguments"));
+    }
+
+    #[test]
+    fn unknown_callee_rejected() {
+        let err = check("void f(int x) { h(x); }").unwrap_err();
+        assert!(err.message.contains("unknown method"));
+    }
+
+    #[test]
+    fn field_access_checked() {
+        let err =
+            check("data node { node next; } void f(node x) { int y = x.value; }").unwrap_err();
+        assert!(err.message.contains("no field"));
+    }
+
+    #[test]
+    fn null_assignable_to_data() {
+        assert!(check("data node { node next; } void f(node x) { x = null; }").is_ok());
+    }
+
+    #[test]
+    fn return_type_checked() {
+        let err = check("int f(int x) { return; }").unwrap_err();
+        assert!(err.message.contains("missing return value"));
+        let err = check("void f(int x) { return x; }").unwrap_err();
+        assert!(err.message.contains("void method"));
+    }
+
+    #[test]
+    fn duplicate_methods_rejected() {
+        let err = check("void f(int x) { return; } void f(int y) { return; }").unwrap_err();
+        assert!(err.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn body_less_method_needs_spec() {
+        let err = check("int prim(int x);").unwrap_err();
+        assert!(err.message.contains("neither a body nor a specification"));
+        assert!(check("int prim(int x) requires true ensures res >= 0; ;").is_ok());
+    }
+
+    #[test]
+    fn by_ref_argument_must_be_variable() {
+        let err = check("void g(ref int a) { a = 1; } void f(int x) { g(x + 1); }").unwrap_err();
+        assert!(err.message.contains("by-ref"));
+    }
+
+    #[test]
+    fn scoping_of_locals() {
+        let err = check("void f(int x) { if (x > 0) { int y = 1; } else { return; } y = 2; }")
+            .unwrap_err();
+        assert!(err.message.contains("undeclared"));
+    }
+}

@@ -1,0 +1,452 @@
+//! Linear integer arithmetic atoms in canonical form.
+//!
+//! Every atom is normalised to one of three canonical shapes over an affine expression
+//! `e` with integer-valued variables:
+//!
+//! * `e ≥ 0` ([`RelOp::Ge`]),
+//! * `e = 0` ([`RelOp::Eq`]),
+//! * `e ≠ 0` ([`RelOp::Ne`]).
+//!
+//! Strict comparisons are folded away using integrality (`e > 0 ⇔ e − 1 ≥ 0`), which is
+//! what makes the later rational relaxation in [`crate::sat`] tight on the benchmark
+//! fragment.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use tnt_solver::{Ineq, Lin, Rational};
+
+/// Canonical relational operator of a [`Constraint`] (always compared against zero).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RelOp {
+    /// `expr ≥ 0`
+    Ge,
+    /// `expr = 0`
+    Eq,
+    /// `expr ≠ 0`
+    Ne,
+}
+
+/// A canonical linear integer constraint `expr (≥|=|≠) 0`.
+///
+/// # Examples
+///
+/// ```
+/// use tnt_logic::{Constraint, RelOp};
+/// use tnt_solver::Lin;
+///
+/// let c = Constraint::lt(Lin::var("x"), Lin::zero()); // x < 0
+/// assert_eq!(c.op(), RelOp::Ge);                      // canonicalised to -x - 1 >= 0
+/// assert!(c.expr().coeff("x").is_negative());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Constraint {
+    expr: Lin,
+    op: RelOp,
+}
+
+impl Constraint {
+    /// `lhs ≥ rhs`
+    pub fn ge(lhs: Lin, rhs: Lin) -> Self {
+        Constraint {
+            expr: lhs.sub(&rhs),
+            op: RelOp::Ge,
+        }
+    }
+
+    /// `lhs ≤ rhs`
+    pub fn le(lhs: Lin, rhs: Lin) -> Self {
+        Constraint::ge(rhs, lhs)
+    }
+
+    /// `lhs > rhs` (canonicalised to `lhs − rhs − 1 ≥ 0` by integrality)
+    pub fn gt(lhs: Lin, rhs: Lin) -> Self {
+        Constraint {
+            expr: lhs.sub(&rhs).add_const(-Rational::one()),
+            op: RelOp::Ge,
+        }
+    }
+
+    /// `lhs < rhs` (canonicalised to `rhs − lhs − 1 ≥ 0` by integrality)
+    pub fn lt(lhs: Lin, rhs: Lin) -> Self {
+        Constraint::gt(rhs, lhs)
+    }
+
+    /// `lhs = rhs`
+    pub fn eq(lhs: Lin, rhs: Lin) -> Self {
+        Constraint {
+            expr: lhs.sub(&rhs),
+            op: RelOp::Eq,
+        }
+    }
+
+    /// `lhs ≠ rhs`
+    pub fn ne(lhs: Lin, rhs: Lin) -> Self {
+        Constraint {
+            expr: lhs.sub(&rhs),
+            op: RelOp::Ne,
+        }
+    }
+
+    /// Builds a constraint directly from a canonical expression and operator.
+    pub fn from_parts(expr: Lin, op: RelOp) -> Self {
+        Constraint { expr, op }
+    }
+
+    /// The canonical expression compared against zero.
+    pub fn expr(&self) -> &Lin {
+        &self.expr
+    }
+
+    /// The canonical operator.
+    pub fn op(&self) -> RelOp {
+        self.op
+    }
+
+    /// Free variables of the constraint.
+    pub fn vars(&self) -> impl Iterator<Item = &str> + '_ {
+        self.expr.vars()
+    }
+
+    /// Substitutes a variable by an affine expression.
+    pub fn substitute(&self, var: &str, by: &Lin) -> Constraint {
+        Constraint {
+            expr: self.expr.substitute(var, by),
+            op: self.op,
+        }
+    }
+
+    /// Renames a variable.
+    pub fn rename(&self, from: &str, to: &str) -> Constraint {
+        Constraint {
+            expr: self.expr.rename(from, to),
+            op: self.op,
+        }
+    }
+
+    /// The logical negation of the constraint, as a disjunction of constraints
+    /// (a single one except for the negation of an equality).
+    pub fn negate(&self) -> Vec<Constraint> {
+        match self.op {
+            // ¬(e ≥ 0)  ⇔  e ≤ -1  ⇔  -e - 1 ≥ 0
+            RelOp::Ge => vec![Constraint {
+                expr: self
+                    .expr
+                    .scale(-Rational::one())
+                    .add_const(-Rational::one()),
+                op: RelOp::Ge,
+            }],
+            // ¬(e = 0)  ⇔  e ≠ 0
+            RelOp::Eq => vec![Constraint {
+                expr: self.expr.clone(),
+                op: RelOp::Ne,
+            }],
+            // ¬(e ≠ 0)  ⇔  e = 0
+            RelOp::Ne => vec![Constraint {
+                expr: self.expr.clone(),
+                op: RelOp::Eq,
+            }],
+        }
+    }
+
+    /// Splits an `≠` atom into its two strict cases `e ≥ 1` and `−e ≥ 1`.
+    /// Returns `None` for other operators.
+    pub fn split_ne(&self) -> Option<[Constraint; 2]> {
+        if self.op != RelOp::Ne {
+            return None;
+        }
+        Some([
+            Constraint {
+                expr: self.expr.add_const(-Rational::one()),
+                op: RelOp::Ge,
+            },
+            Constraint {
+                expr: self
+                    .expr
+                    .scale(-Rational::one())
+                    .add_const(-Rational::one()),
+                op: RelOp::Ge,
+            },
+        ])
+    }
+
+    /// Evaluates the constraint under an integer assignment (missing variables are 0).
+    pub fn holds(&self, assignment: &BTreeMap<String, i128>) -> bool {
+        let env: BTreeMap<String, Rational> = assignment
+            .iter()
+            .map(|(k, v)| (k.clone(), Rational::from(*v)))
+            .collect();
+        let value = self.expr.eval(&env);
+        match self.op {
+            RelOp::Ge => !value.is_negative(),
+            RelOp::Eq => value.is_zero(),
+            RelOp::Ne => !value.is_zero(),
+        }
+    }
+
+    /// If the constraint has no variables, evaluates it to a boolean.
+    pub fn const_eval(&self) -> Option<bool> {
+        if !self.expr.is_constant() {
+            return None;
+        }
+        let value = self.expr.constant_term();
+        Some(match self.op {
+            RelOp::Ge => !value.is_negative(),
+            RelOp::Eq => value.is_zero(),
+            RelOp::Ne => !value.is_zero(),
+        })
+    }
+
+    /// Integer normalisation: divides the expression by the gcd of its variable
+    /// coefficients and tightens the constant accordingly. Returns `None` when the
+    /// normalisation discovers the constraint is unsatisfiable (e.g. `2x = 1`), and
+    /// `Some(normalised)` otherwise.
+    ///
+    /// All expressions in this crate have integer coefficients by construction of the
+    /// front-end; rational coefficients are first scaled to integers.
+    pub fn normalise(&self) -> Option<Constraint> {
+        // Scale to integer coefficients.
+        let mut denom_lcm: i128 = 1;
+        for (_, c) in self.expr.terms() {
+            denom_lcm = lcm(denom_lcm, c.denom());
+        }
+        denom_lcm = lcm(denom_lcm, self.expr.constant_term().denom());
+        let scaled = self.expr.scale(Rational::from(denom_lcm));
+
+        let mut g: i128 = 0;
+        for (_, c) in scaled.terms() {
+            g = gcd(g, c.numer());
+        }
+        if g == 0 {
+            // Constant constraint: leave untouched (const_eval handles it).
+            return Some(Constraint {
+                expr: scaled,
+                op: self.op,
+            });
+        }
+        let constant = scaled.constant_term().numer();
+        match self.op {
+            RelOp::Eq => {
+                if constant % g != 0 {
+                    return None;
+                }
+                Some(Constraint {
+                    expr: scaled.scale(Rational::new(1, g)),
+                    op: RelOp::Eq,
+                })
+            }
+            RelOp::Ge => {
+                // (g·e' + k ≥ 0) ⇔ (e' ≥ ⌈-k/g⌉) ⇔ (e' + ⌊k/g⌋ ≥ 0)
+                let vars_part = scaled.sub(&Lin::constant(scaled.constant_term()));
+                let tightened = Rational::new(constant, g).floor();
+                Some(Constraint {
+                    expr: vars_part
+                        .scale(Rational::new(1, g))
+                        .add_const(Rational::from(tightened)),
+                    op: RelOp::Ge,
+                })
+            }
+            RelOp::Ne => Some(Constraint {
+                expr: scaled,
+                op: RelOp::Ne,
+            }),
+        }
+    }
+
+    /// Converts the constraint into solver inequalities (`≥ 0` form). `≠` atoms cannot
+    /// be represented as a conjunction of inequalities and yield `None`.
+    pub fn to_ineqs(&self) -> Option<Vec<Ineq>> {
+        match self.op {
+            RelOp::Ge => Some(vec![Ineq::ge_zero(self.expr.clone())]),
+            RelOp::Eq => Some(Ineq::eq_zero(self.expr.clone()).to_vec()),
+            RelOp::Ne => None,
+        }
+    }
+}
+
+fn gcd(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+fn lcm(a: i128, b: i128) -> i128 {
+    if a == 0 || b == 0 {
+        0
+    } else {
+        (a / gcd(a, b)) * b
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.op {
+            RelOp::Ge => write!(f, "{} >= 0", self.expr),
+            RelOp::Eq => write!(f, "{} = 0", self.expr),
+            RelOp::Ne => write!(f, "{} != 0", self.expr),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn n(value: i128) -> Lin {
+        Lin::constant(Rational::from(value))
+    }
+
+    #[test]
+    fn strict_comparisons_are_tightened() {
+        let c = Constraint::gt(Lin::var("x"), n(3)); // x > 3 ⇔ x - 4 >= 0
+        assert_eq!(c.op(), RelOp::Ge);
+        assert_eq!(c.expr().constant_term(), Rational::from(-4));
+        let c = Constraint::lt(Lin::var("x"), n(0)); // x < 0 ⇔ -x - 1 >= 0
+        assert_eq!(c.expr().coeff("x"), Rational::from(-1));
+        assert_eq!(c.expr().constant_term(), Rational::from(-1));
+    }
+
+    #[test]
+    fn negation_roundtrip() {
+        let c = Constraint::ge(Lin::var("x"), n(0));
+        let neg = c.negate();
+        assert_eq!(neg.len(), 1);
+        // ¬(x ≥ 0) = (-x - 1 ≥ 0) = (x ≤ -1); negating again gives x ≥ 0.
+        let back = neg[0].negate();
+        assert_eq!(back[0], c);
+    }
+
+    #[test]
+    fn negate_equality_gives_ne() {
+        let c = Constraint::eq(Lin::var("x"), n(5));
+        let neg = c.negate();
+        assert_eq!(neg[0].op(), RelOp::Ne);
+        assert_eq!(neg[0].negate()[0].op(), RelOp::Eq);
+    }
+
+    #[test]
+    fn split_ne_cases() {
+        let c = Constraint::ne(Lin::var("x"), n(0));
+        let [pos, neg] = c.split_ne().unwrap();
+        let mut env = BTreeMap::new();
+        env.insert("x".to_string(), 1);
+        assert!(pos.holds(&env) && !neg.holds(&env));
+        env.insert("x".to_string(), -1);
+        assert!(!pos.holds(&env) && neg.holds(&env));
+        assert!(Constraint::ge(Lin::var("x"), n(0)).split_ne().is_none());
+    }
+
+    #[test]
+    fn const_eval() {
+        assert_eq!(Constraint::ge(n(3), n(0)).const_eval(), Some(true));
+        assert_eq!(Constraint::ge(n(-1), n(0)).const_eval(), Some(false));
+        assert_eq!(Constraint::eq(n(0), n(0)).const_eval(), Some(true));
+        assert_eq!(Constraint::ne(n(0), n(0)).const_eval(), Some(false));
+        assert_eq!(Constraint::ge(Lin::var("x"), n(0)).const_eval(), None);
+    }
+
+    #[test]
+    fn normalise_divides_by_gcd() {
+        // 2x - 3 >= 0 over the integers means x >= 2, i.e. x - 2 >= 0.
+        let c = Constraint::ge(Lin::var("x").scale(Rational::from(2)), n(3));
+        let norm = c.normalise().unwrap();
+        assert_eq!(norm.expr().coeff("x"), Rational::one());
+        assert_eq!(norm.expr().constant_term(), Rational::from(-2));
+    }
+
+    #[test]
+    fn normalise_detects_parity_conflict() {
+        // 2x = 1 has no integer solution.
+        let c = Constraint::eq(Lin::var("x").scale(Rational::from(2)), n(1));
+        assert!(c.normalise().is_none());
+    }
+
+    #[test]
+    fn substitution_and_rename() {
+        let c = Constraint::ge(Lin::var("x"), Lin::var("y"));
+        let s = c.substitute("x", &Lin::var("y").add_const(Rational::from(2)));
+        assert_eq!(s.const_eval(), Some(true));
+        assert_eq!(s.expr().coeff("y"), Rational::zero());
+        assert_eq!(s.expr().constant_term(), Rational::from(2));
+        let r = c.rename("y", "z");
+        assert_eq!(r.expr().coeff("z"), Rational::from(-1));
+    }
+
+    #[test]
+    fn to_ineqs_shapes() {
+        assert_eq!(
+            Constraint::ge(Lin::var("x"), n(0))
+                .to_ineqs()
+                .unwrap()
+                .len(),
+            1
+        );
+        assert_eq!(
+            Constraint::eq(Lin::var("x"), n(0))
+                .to_ineqs()
+                .unwrap()
+                .len(),
+            2
+        );
+        assert!(Constraint::ne(Lin::var("x"), n(0)).to_ineqs().is_none());
+    }
+
+    fn small_env() -> impl Strategy<Value = BTreeMap<String, i128>> {
+        proptest::collection::btree_map("[xyz]", -30i128..30, 0..3)
+    }
+
+    fn small_constraint() -> impl Strategy<Value = Constraint> {
+        (
+            proptest::collection::btree_map("[xyz]", -5i128..5, 0..3),
+            -10i128..10,
+            0usize..6,
+        )
+            .prop_map(|(coeffs, k, op)| {
+                let lhs = Lin::from_terms(
+                    coeffs
+                        .into_iter()
+                        .map(|(v, c)| (v, Rational::from(c)))
+                        .collect::<Vec<_>>(),
+                    Rational::from(k),
+                );
+                match op {
+                    0 => Constraint::ge(lhs, Lin::zero()),
+                    1 => Constraint::le(lhs, Lin::zero()),
+                    2 => Constraint::gt(lhs, Lin::zero()),
+                    3 => Constraint::lt(lhs, Lin::zero()),
+                    4 => Constraint::eq(lhs, Lin::zero()),
+                    _ => Constraint::ne(lhs, Lin::zero()),
+                }
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_negation_flips_truth(c in small_constraint(), env in small_env()) {
+            let negated = c.negate();
+            let holds = c.holds(&env);
+            let neg_holds = negated.iter().any(|d| d.holds(&env));
+            prop_assert_eq!(holds, !neg_holds);
+        }
+
+        #[test]
+        fn prop_normalise_preserves_integer_truth(c in small_constraint(), env in small_env()) {
+            match c.normalise() {
+                None => prop_assert!(!c.holds(&env)),
+                Some(norm) => prop_assert_eq!(norm.holds(&env), c.holds(&env)),
+            }
+        }
+
+        #[test]
+        fn prop_split_ne_is_exclusive_cover(env in small_env(), k in -5i128..5) {
+            let c = Constraint::ne(Lin::var("x"), Lin::constant(Rational::from(k)));
+            let [a, b] = c.split_ne().unwrap();
+            prop_assert_eq!(c.holds(&env), a.holds(&env) || b.holds(&env));
+            prop_assert!(!(a.holds(&env) && b.holds(&env)));
+        }
+    }
+}

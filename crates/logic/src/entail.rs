@@ -1,0 +1,151 @@
+//! Entailment and validity, reduced to (un)satisfiability.
+
+use crate::formula::Formula;
+use crate::sat;
+
+/// Checks the entailment `antecedent ⊨ consequent`, i.e. every integer model of the
+/// antecedent satisfies the consequent.
+///
+/// Reduced to `UNSAT(antecedent ∧ ¬consequent)`.
+pub fn entails(antecedent: &Formula, consequent: &Formula) -> bool {
+    if consequent.is_true() || antecedent.is_false() {
+        return true;
+    }
+    let query = antecedent.clone().and2(consequent.clone().negate());
+    sat::is_unsat(&query)
+}
+
+/// Checks validity of a formula (every assignment satisfies it).
+pub fn is_valid(formula: &Formula) -> bool {
+    sat::is_unsat(&formula.clone().negate())
+}
+
+/// Checks logical equivalence of two formulas.
+pub fn equivalent(a: &Formula, b: &Formula) -> bool {
+    entails(a, b) && entails(b, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::Constraint;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+    use tnt_solver::{Lin, Rational};
+
+    fn n(k: i128) -> Lin {
+        Lin::constant(Rational::from(k))
+    }
+
+    #[test]
+    fn basic_entailments() {
+        let strong: Formula = Constraint::ge(Lin::var("x"), n(5)).into();
+        let weak: Formula = Constraint::ge(Lin::var("x"), n(0)).into();
+        assert!(entails(&strong, &weak));
+        assert!(!entails(&weak, &strong));
+        assert!(entails(&Formula::False, &strong));
+        assert!(entails(&strong, &Formula::True));
+    }
+
+    #[test]
+    fn entailment_through_equalities() {
+        // x >= 0 ∧ x' = x + y ∧ y >= 0  ⊨  x' >= 0   (the abduced case of the paper's foo)
+        let antecedent = Formula::and(vec![
+            Constraint::ge(Lin::var("x"), n(0)).into(),
+            Constraint::eq(Lin::var("x'"), Lin::var("x").add(&Lin::var("y"))).into(),
+            Constraint::ge(Lin::var("y"), n(0)).into(),
+        ]);
+        let consequent: Formula = Constraint::ge(Lin::var("x'"), n(0)).into();
+        assert!(entails(&antecedent, &consequent));
+
+        // Without y >= 0 the entailment fails.
+        let weaker = Formula::and(vec![
+            Constraint::ge(Lin::var("x"), n(0)).into(),
+            Constraint::eq(Lin::var("x'"), Lin::var("x").add(&Lin::var("y"))).into(),
+        ]);
+        assert!(!entails(&weaker, &consequent));
+    }
+
+    #[test]
+    fn validity() {
+        // x >= 0 ∨ x < 0 is valid.
+        let f = Formula::or(vec![
+            Constraint::ge(Lin::var("x"), n(0)).into(),
+            Constraint::lt(Lin::var("x"), n(0)).into(),
+        ]);
+        assert!(is_valid(&f));
+        assert!(!is_valid(&Constraint::ge(Lin::var("x"), n(0)).into()));
+    }
+
+    #[test]
+    fn equivalence_of_rewritten_guards() {
+        // x > 3 is equivalent to x >= 4 over the integers.
+        let a: Formula = Constraint::gt(Lin::var("x"), n(3)).into();
+        let b: Formula = Constraint::ge(Lin::var("x"), n(4)).into();
+        assert!(equivalent(&a, &b));
+    }
+
+    #[test]
+    fn disjunctive_consequent() {
+        // x = 3 entails x >= 5 ∨ x <= 4.
+        let a: Formula = Constraint::eq(Lin::var("x"), n(3)).into();
+        let c = Formula::or(vec![
+            Constraint::ge(Lin::var("x"), n(5)).into(),
+            Constraint::le(Lin::var("x"), n(4)).into(),
+        ]);
+        assert!(entails(&a, &c));
+    }
+
+    fn small_env() -> impl Strategy<Value = BTreeMap<String, i128>> {
+        proptest::collection::btree_map("[xy]", -8i128..8, 2..3)
+    }
+
+    fn small_formula() -> impl Strategy<Value = Formula> {
+        let atom = (
+            proptest::collection::btree_map("[xy]", -3i128..4, 1..3),
+            -6i128..6,
+            0usize..3,
+        )
+            .prop_map(|(coeffs, k, op)| {
+                let lhs = Lin::from_terms(
+                    coeffs
+                        .into_iter()
+                        .map(|(v, c)| (v, Rational::from(c)))
+                        .collect::<Vec<_>>(),
+                    Rational::from(k),
+                );
+                let c = match op {
+                    0 => Constraint::ge(lhs, Lin::zero()),
+                    1 => Constraint::eq(lhs, Lin::zero()),
+                    _ => Constraint::lt(lhs, Lin::zero()),
+                };
+                Formula::Atom(c)
+            });
+        atom.prop_recursive(2, 8, 3, |inner| {
+            prop_oneof![
+                proptest::collection::vec(inner.clone(), 1..3).prop_map(Formula::and),
+                proptest::collection::vec(inner.clone(), 1..3).prop_map(Formula::or),
+            ]
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// If entailment is claimed, no concrete assignment may refute it
+        /// (soundness of `entails` on witnesses).
+        #[test]
+        fn prop_entailment_respected_by_models(a in small_formula(), b in small_formula(), env in small_env()) {
+            if entails(&a, &b) && a.eval(&env, 4) {
+                prop_assert!(b.eval(&env, 4));
+            }
+        }
+
+        /// Every formula entails itself and anything it is conjoined with entails it.
+        #[test]
+        fn prop_reflexive_and_weakening(a in small_formula(), b in small_formula()) {
+            prop_assert!(entails(&a, &a));
+            prop_assert!(entails(&a.clone().and2(b.clone()), &a));
+        }
+    }
+}

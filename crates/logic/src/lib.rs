@@ -1,0 +1,63 @@
+//! # tnt-logic
+//!
+//! The Presburger (linear integer arithmetic) reasoning layer of the HIPTNT+
+//! reproduction.
+//!
+//! The paper's specification logic (Fig. 2) combines a separation-logic heap part `κ`
+//! with a pure part `π` drawn from Presburger arithmetic. This crate implements the
+//! pure part and the decision services the inference engine needs:
+//!
+//! * [`Constraint`] / [`Formula`] — linear integer atoms and boolean structure
+//!   (conjunction, disjunction, negation, existential quantification).
+//! * [`dnf`] — negation normal form and disjunctive normal form.
+//! * [`sat`] — satisfiability of quantifier-free formulas, via DNF expansion, gcd-based
+//!   integer normalisation of the atoms and a rational-relaxation feasibility check on
+//!   the exact simplex from [`tnt_solver`].
+//! * [`entail`] — entailment and validity, reduced to unsatisfiability.
+//! * [`qe`] — existential-quantifier elimination / projection by equality substitution
+//!   and Fourier–Motzkin combination (an over-approximation on the integers, which is
+//!   the sound direction for every use in the inference engine; see `DESIGN.md` §4).
+//! * [`simplify`] — light-weight structural simplification used to keep inferred
+//!   guards readable.
+//!
+//! Variables are plain strings; affine expressions reuse [`tnt_solver::Lin`].
+//!
+//! # Example
+//!
+//! ```
+//! use tnt_logic::{Constraint, Formula};
+//! use tnt_solver::Lin;
+//!
+//! // x >= 0 ∧ x + y < 0  entails  y < 0
+//! let antecedent = Formula::and(vec![
+//!     Constraint::ge(Lin::var("x"), Lin::zero()).into(),
+//!     Constraint::lt(Lin::var("x").add(&Lin::var("y")), Lin::zero()).into(),
+//! ]);
+//! let consequent: Formula = Constraint::lt(Lin::var("y"), Lin::zero()).into();
+//! assert!(tnt_logic::entail::entails(&antecedent, &consequent));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod constraint;
+pub mod dnf;
+pub mod entail;
+pub mod formula;
+pub mod qe;
+pub mod sat;
+pub mod simplify;
+
+pub use constraint::{Constraint, RelOp};
+pub use formula::Formula;
+pub use tnt_solver::{Lin, Rational};
+
+/// Convenience: an integer-constant affine expression.
+pub fn num(value: i128) -> Lin {
+    Lin::constant(Rational::from(value))
+}
+
+/// Convenience: a variable affine expression.
+pub fn var(name: &str) -> Lin {
+    Lin::var(name)
+}

@@ -1,0 +1,286 @@
+//! Existential quantifier elimination and projection.
+//!
+//! Two uses in the paper's algorithm need projections of a context onto the method's
+//! formal parameters:
+//!
+//! * base-case inference, `syn_base` (Sec. 5.1), projects call contexts `ρᵢ` and
+//!   base-case conditions `βⱼ` onto the parameters `v` (`ρ/{v} ≡ ∃(FV(ρ)−{v})·ρ`);
+//! * abductive case-splitting (Sec. 5.6) computes the weakest-precondition fall-back
+//!   condition `∀v′.(ρ∧µ ⇒ β)` by negating a projection.
+//!
+//! Elimination works cube by cube: variables bound by an equality with a unit
+//! coefficient are substituted away exactly; the rest are eliminated by Fourier–Motzkin
+//! combination of their lower and upper bounds. Over the integers the FM step is an
+//! over-approximation of the existential in non-unit-coefficient corner cases; every
+//! use in the engine tolerates over-approximation (the inferred conditions are
+//! re-verified), see `DESIGN.md` §4.
+
+use crate::constraint::{Constraint, RelOp};
+use crate::dnf::{self, Cube};
+use crate::formula::Formula;
+use std::collections::BTreeSet;
+use tnt_solver::{Lin, Rational};
+
+/// Fourier–Motzkin can square the number of constraints at every elimination step; the
+/// projection is only ever used as an over-approximation, so beyond this product bound
+/// the constraints mentioning the variable are simply dropped (a coarser but still
+/// sound over-approximation).
+const FM_PRODUCT_LIMIT: usize = 100;
+
+/// Eliminates one variable from a cube.
+fn eliminate_var(cube: &Cube, var: &str) -> Cube {
+    // 0. Light clean-up: drop ground-true constraints and duplicates so repeated
+    //    eliminations do not snowball.
+    let mut cube: Cube = {
+        let mut seen: Cube = Vec::with_capacity(cube.len());
+        for c in cube {
+            if c.const_eval() == Some(true) || seen.contains(c) {
+                continue;
+            }
+            seen.push(c.clone());
+        }
+        seen
+    };
+    let _ = &mut cube;
+    let cube = &cube;
+
+    // 1. Try an equality with a ±1 coefficient of `var`: substitute exactly.
+    for (idx, c) in cube.iter().enumerate() {
+        if c.op() == RelOp::Eq {
+            let coeff = c.expr().coeff(var);
+            if coeff == Rational::one() || coeff == -Rational::one() {
+                // expr = coeff·var + rest = 0  ⇒  var = -rest/coeff
+                let rest = c.expr().sub(&Lin::var(var).scale(coeff));
+                let solution = rest.scale(-(coeff.recip()));
+                return cube
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != idx)
+                    .map(|(_, other)| other.substitute(var, &solution))
+                    .collect();
+            }
+        }
+    }
+
+    // 2. Fourier–Motzkin: split into lower bounds (positive coefficient), upper bounds
+    //    (negative coefficient) and unrelated constraints. Equalities with non-unit
+    //    coefficients are treated as two inequalities; `≠` atoms mentioning the
+    //    variable are dropped (over-approximation).
+    let mut lowers: Vec<Lin> = Vec::new(); // a·var + rest ≥ 0 with a > 0
+    let mut uppers: Vec<Lin> = Vec::new(); // a·var + rest ≥ 0 with a < 0
+    let mut rest: Cube = Vec::new();
+    for c in cube {
+        let coeff = c.expr().coeff(var);
+        if coeff.is_zero() {
+            rest.push(c.clone());
+            continue;
+        }
+        match c.op() {
+            RelOp::Ge => {
+                if coeff.is_positive() {
+                    lowers.push(c.expr().clone());
+                } else {
+                    uppers.push(c.expr().clone());
+                }
+            }
+            RelOp::Eq => {
+                // Both polarities; the re-classification pass below sorts them into the
+                // correct bucket based on the sign of the variable's coefficient.
+                lowers.push(c.expr().clone());
+                uppers.push(c.expr().scale(-Rational::one()));
+            }
+            RelOp::Ne => {
+                // Dropping the constraint only widens the projection.
+            }
+        }
+    }
+    // Re-classify anything that ended up in the wrong bucket (possible for equalities).
+    let (mut fixed_lowers, mut fixed_uppers) = (Vec::new(), Vec::new());
+    for e in lowers.into_iter().chain(uppers.into_iter()) {
+        let coeff = e.coeff(var);
+        if coeff.is_positive() {
+            fixed_lowers.push(e);
+        } else if coeff.is_negative() {
+            fixed_uppers.push(e);
+        }
+    }
+
+    if fixed_lowers.len() * fixed_uppers.len() > FM_PRODUCT_LIMIT {
+        // Too many combinations: drop the variable's constraints altogether
+        // (over-approximation; see the module documentation).
+        return rest;
+    }
+    for lower in &fixed_lowers {
+        for upper in &fixed_uppers {
+            let a = lower.coeff(var); // > 0
+            let b = upper.coeff(var); // < 0
+                                      // a·var + L ≥ 0  ∧  b·var + U ≥ 0
+                                      //   ⇒  (-b)·(a·var + L) + a·(b·var + U) ≥ 0  ⇒  (-b)·L + a·U ≥ 0  (var gone)
+            let combined = lower.scale(-b).add(&upper.scale(a));
+            debug_assert!(combined.coeff(var).is_zero());
+            rest.push(Constraint::from_parts(combined, RelOp::Ge));
+        }
+    }
+    rest
+}
+
+/// Projects a cube onto the variables in `keep`, eliminating every other variable.
+pub fn project_cube(cube: &Cube, keep: &BTreeSet<String>) -> Cube {
+    let mut vars: BTreeSet<String> = BTreeSet::new();
+    for c in cube {
+        for v in c.vars() {
+            if !keep.contains(v) {
+                vars.insert(v.to_string());
+            }
+        }
+    }
+    let mut current = cube.clone();
+    for v in vars {
+        current = eliminate_var(&current, &v);
+    }
+    current
+}
+
+/// Eliminates every existential quantifier in the formula, producing an equivalent
+/// (over the rationals) quantifier-free formula.
+pub fn eliminate(formula: &Formula) -> Formula {
+    match formula {
+        Formula::True | Formula::False | Formula::Atom(_) => formula.clone(),
+        Formula::And(parts) => Formula::and(parts.iter().map(eliminate).collect()),
+        Formula::Or(parts) => Formula::or(parts.iter().map(eliminate).collect()),
+        Formula::Not(inner) => eliminate(inner).negate(),
+        Formula::Exists(vars, body) => {
+            let body = eliminate(body);
+            let keep: BTreeSet<String> = body
+                .free_vars()
+                .into_iter()
+                .filter(|v| !vars.contains(v))
+                .collect();
+            let cubes = dnf::to_dnf(&body);
+            let projected: Vec<Cube> = cubes.iter().map(|cube| project_cube(cube, &keep)).collect();
+            dnf::from_dnf(&projected)
+        }
+    }
+}
+
+/// Projects a formula onto the variables in `keep` (the paper's `ρ/{v}` operator).
+pub fn project(formula: &Formula, keep: &BTreeSet<String>) -> Formula {
+    let to_eliminate: Vec<String> = formula
+        .free_vars()
+        .into_iter()
+        .filter(|v| !keep.contains(v))
+        .collect();
+    eliminate(&Formula::exists(to_eliminate, formula.clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entail::{entails, equivalent};
+    use crate::sat::is_sat;
+    use tnt_solver::Rational;
+
+    fn n(k: i128) -> Lin {
+        Lin::constant(Rational::from(k))
+    }
+
+    fn keep(vars: &[&str]) -> BTreeSet<String> {
+        vars.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn equality_substitution() {
+        // ∃x'. x' = x + y ∧ x' >= 0  ≡  x + y >= 0
+        let f = Formula::and(vec![
+            Constraint::eq(Lin::var("x'"), Lin::var("x").add(&Lin::var("y"))).into(),
+            Constraint::ge(Lin::var("x'"), n(0)).into(),
+        ]);
+        let projected = project(&f, &keep(&["x", "y"]));
+        let expected: Formula = Constraint::ge(Lin::var("x").add(&Lin::var("y")), n(0)).into();
+        assert!(equivalent(&projected, &expected));
+    }
+
+    #[test]
+    fn fourier_motzkin_combination() {
+        // ∃z. x <= z ∧ z <= y  ≡  x <= y
+        let f = Formula::and(vec![
+            Constraint::le(Lin::var("x"), Lin::var("z")).into(),
+            Constraint::le(Lin::var("z"), Lin::var("y")).into(),
+        ]);
+        let projected = project(&f, &keep(&["x", "y"]));
+        let expected: Formula = Constraint::le(Lin::var("x"), Lin::var("y")).into();
+        assert!(equivalent(&projected, &expected));
+    }
+
+    #[test]
+    fn projection_of_foo_recursive_context() {
+        // The paper's syn_base computes ρ/{x,y} for
+        // ρ = x >= 0 ∧ x' = x + y ∧ y' = y, which is simply x >= 0.
+        let f = Formula::and(vec![
+            Constraint::ge(Lin::var("x"), n(0)).into(),
+            Constraint::eq(Lin::var("x'"), Lin::var("x").add(&Lin::var("y"))).into(),
+            Constraint::eq(Lin::var("y'"), Lin::var("y")).into(),
+        ]);
+        let projected = project(&f, &keep(&["x", "y"]));
+        let expected: Formula = Constraint::ge(Lin::var("x"), n(0)).into();
+        assert!(equivalent(&projected, &expected));
+    }
+
+    #[test]
+    fn unbounded_variable_projects_to_true() {
+        // ∃z. z >= x is always satisfiable, so the projection is equivalent to true.
+        let f: Formula = Constraint::ge(Lin::var("z"), Lin::var("x")).into();
+        let projected = project(&f, &keep(&["x"]));
+        assert!(is_sat(&projected));
+        assert!(entails(&Formula::True, &projected));
+    }
+
+    #[test]
+    fn projection_keeps_unrelated_constraints() {
+        let f = Formula::and(vec![
+            Constraint::ge(Lin::var("x"), n(1)).into(),
+            Constraint::ge(Lin::var("t"), n(7)).into(),
+        ]);
+        let projected = project(&f, &keep(&["x"]));
+        assert!(equivalent(
+            &projected,
+            &Constraint::ge(Lin::var("x"), n(1)).into()
+        ));
+    }
+
+    #[test]
+    fn eliminate_nested_quantifier() {
+        // ∃y. (x >= y ∧ ∃z. y >= z ∧ z >= 3)  ⇒ projection onto x should be x >= 3.
+        let inner = Formula::exists(
+            vec!["z".to_string()],
+            Formula::and(vec![
+                Constraint::ge(Lin::var("y"), Lin::var("z")).into(),
+                Constraint::ge(Lin::var("z"), n(3)).into(),
+            ]),
+        );
+        let f = Formula::exists(
+            vec!["y".to_string()],
+            Formula::and(vec![
+                Constraint::ge(Lin::var("x"), Lin::var("y")).into(),
+                inner,
+            ]),
+        );
+        let eliminated = eliminate(&f);
+        assert!(eliminated.free_vars().len() <= 1);
+        assert!(equivalent(
+            &eliminated,
+            &Constraint::ge(Lin::var("x"), n(3)).into()
+        ));
+    }
+
+    #[test]
+    fn projection_is_over_approximation() {
+        // For every cube, the original entails its projection (soundness direction).
+        let f = Formula::and(vec![
+            Constraint::ge(Lin::var("x").scale(Rational::from(2)), Lin::var("w")).into(),
+            Constraint::ge(Lin::var("w"), n(5)).into(),
+        ]);
+        let projected = project(&f, &keep(&["x"]));
+        assert!(entails(&f, &projected));
+    }
+}

@@ -1,0 +1,263 @@
+//! Satisfiability of quantifier-free linear integer formulas.
+//!
+//! The procedure is the classical "DNF + per-cube feasibility" pipeline the paper's
+//! verifier obtains from an external prover:
+//!
+//! 1. the formula is put into disjunctive normal form ([`crate::dnf`]);
+//! 2. every cube is normalised atom by atom (gcd division, constant tightening,
+//!    parity conflicts — [`crate::constraint::Constraint::normalise`]);
+//! 3. the remaining conjunction of `≥`/`=` atoms is checked for feasibility over the
+//!    rationals with the exact simplex of [`tnt_solver`].
+//!
+//! Step 3 is a relaxation: a cube that is rationally feasible but integrally infeasible
+//! would be reported satisfiable. On the unit-coefficient fragment produced by the
+//! front-end the relaxation is exact; the known residual incompleteness only ever makes
+//! the inference engine *more* conservative (see `DESIGN.md` §4 and §7).
+
+use crate::constraint::{Constraint, RelOp};
+use crate::dnf::{self, Cube};
+use crate::formula::Formula;
+use tnt_solver::lp::{Cmp, LpProblem, VarKind};
+use tnt_solver::Lin;
+
+/// Checks satisfiability of a single cube (conjunction of constraints).
+pub fn cube_sat(cube: &Cube) -> bool {
+    let mut ges: Vec<Lin> = Vec::new();
+    let mut eqs: Vec<Lin> = Vec::new();
+    let mut pending_ne: Vec<Constraint> = Vec::new();
+
+    for constraint in cube {
+        let Some(normalised) = constraint.normalise() else {
+            return false; // e.g. 2x = 1
+        };
+        if let Some(truth) = normalised.const_eval() {
+            if truth {
+                continue;
+            }
+            return false;
+        }
+        match normalised.op() {
+            RelOp::Ge => ges.push(normalised.expr().clone()),
+            RelOp::Eq => eqs.push(normalised.expr().clone()),
+            RelOp::Ne => pending_ne.push(normalised),
+        }
+    }
+
+    if !pending_ne.is_empty() {
+        // Defensive: cubes produced by `to_dnf` have no ≠ atoms, but direct callers may
+        // hand us one. Split the first and recurse on both halves.
+        let first = pending_ne[0].clone();
+        let rest: Cube = cube.iter().filter(|c| **c != first).cloned().collect();
+        let [a, b] = first.split_ne().expect("op is Ne");
+        let mut with_a = rest.clone();
+        with_a.push(a);
+        let mut with_b = rest;
+        with_b.push(b);
+        return cube_sat(&with_a) || cube_sat(&with_b);
+    }
+
+    let mut lp = LpProblem::new();
+    for expr in ges.iter().chain(eqs.iter()) {
+        for v in expr.vars() {
+            lp.declare(v, VarKind::Free);
+        }
+    }
+    for expr in ges {
+        lp.constrain(expr, Cmp::Ge, Lin::zero());
+    }
+    for expr in eqs {
+        lp.constrain(expr, Cmp::Eq, Lin::zero());
+    }
+    lp.solve().is_feasible()
+}
+
+/// Checks satisfiability of a formula (existential quantifiers in positive position are
+/// handled exactly; see [`crate::dnf`] for the treatment of negative occurrences).
+pub fn is_sat(formula: &Formula) -> bool {
+    match formula {
+        Formula::True => return true,
+        Formula::False => return false,
+        _ => {}
+    }
+    dnf::to_dnf(formula).iter().any(cube_sat)
+}
+
+/// Checks unsatisfiability.
+pub fn is_unsat(formula: &Formula) -> bool {
+    !is_sat(formula)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+    use tnt_solver::{Lin, Rational};
+
+    fn n(k: i128) -> Lin {
+        Lin::constant(Rational::from(k))
+    }
+
+    #[test]
+    fn trivial_cases() {
+        assert!(is_sat(&Formula::True));
+        assert!(!is_sat(&Formula::False));
+    }
+
+    #[test]
+    fn single_atom() {
+        assert!(is_sat(&Constraint::ge(Lin::var("x"), n(3)).into()));
+        assert!(!is_sat(&Constraint::ge(n(-1), n(0)).into()));
+    }
+
+    #[test]
+    fn conflicting_bounds() {
+        let f = Formula::and(vec![
+            Constraint::ge(Lin::var("x"), n(3)).into(),
+            Constraint::lt(Lin::var("x"), n(3)).into(),
+        ]);
+        assert!(is_unsat(&f));
+        let g = Formula::and(vec![
+            Constraint::ge(Lin::var("x"), n(3)).into(),
+            Constraint::le(Lin::var("x"), n(3)).into(),
+        ]);
+        assert!(is_sat(&g));
+    }
+
+    #[test]
+    fn equalities_propagate() {
+        // x = y ∧ y = 3 ∧ x < 0 is unsat.
+        let f = Formula::and(vec![
+            Constraint::eq(Lin::var("x"), Lin::var("y")).into(),
+            Constraint::eq(Lin::var("y"), n(3)).into(),
+            Constraint::lt(Lin::var("x"), n(0)).into(),
+        ]);
+        assert!(is_unsat(&f));
+    }
+
+    #[test]
+    fn disjunction_needs_only_one_branch() {
+        let f = Formula::or(vec![
+            Constraint::ge(n(-1), n(0)).into(),
+            Constraint::ge(Lin::var("x"), n(0)).into(),
+        ]);
+        assert!(is_sat(&f));
+    }
+
+    #[test]
+    fn negation_of_valid_is_unsat() {
+        // ¬(x = x) is unsat.
+        let f: Formula = Constraint::eq(Lin::var("x"), Lin::var("x")).into();
+        assert!(is_unsat(&f.negate()));
+    }
+
+    #[test]
+    fn disequality_handled() {
+        let f = Formula::and(vec![
+            Constraint::ne(Lin::var("x"), n(0)).into(),
+            Constraint::ge(Lin::var("x"), n(0)).into(),
+            Constraint::le(Lin::var("x"), n(0)).into(),
+        ]);
+        assert!(is_unsat(&f));
+    }
+
+    #[test]
+    fn parity_conflict_detected() {
+        // 2x = 1 is integrally unsat and caught by normalisation.
+        let f: Formula = Constraint::eq(Lin::var("x").scale(Rational::from(2)), n(1)).into();
+        assert!(is_unsat(&f));
+    }
+
+    #[test]
+    fn cube_sat_with_explicit_ne() {
+        let cube = vec![
+            Constraint::ne(Lin::var("x"), n(5)),
+            Constraint::ge(Lin::var("x"), n(5)),
+        ];
+        assert!(cube_sat(&cube));
+        let cube = vec![
+            Constraint::ne(Lin::var("x"), n(5)),
+            Constraint::ge(Lin::var("x"), n(5)),
+            Constraint::le(Lin::var("x"), n(5)),
+        ];
+        assert!(!cube_sat(&cube));
+    }
+
+    #[test]
+    fn running_example_scenarios() {
+        // The three inferred cases of the paper's foo example are each satisfiable and
+        // pairwise disjoint.
+        let x = Lin::var("x");
+        let y = Lin::var("y");
+        let case1: Formula = Constraint::lt(x.clone(), n(0)).into();
+        let case2 = Formula::and(vec![
+            Constraint::ge(x.clone(), n(0)).into(),
+            Constraint::lt(y.clone(), n(0)).into(),
+        ]);
+        let case3 = Formula::and(vec![
+            Constraint::ge(x, n(0)).into(),
+            Constraint::ge(y, n(0)).into(),
+        ]);
+        for case in [&case1, &case2, &case3] {
+            assert!(is_sat(case));
+        }
+        for (a, b) in [(&case1, &case2), (&case1, &case3), (&case2, &case3)] {
+            assert!(is_unsat(&(*a).clone().and2((*b).clone())));
+        }
+    }
+
+    fn small_env() -> impl Strategy<Value = BTreeMap<String, i128>> {
+        proptest::collection::btree_map("[xy]", -8i128..8, 2..3)
+    }
+
+    fn small_formula() -> impl Strategy<Value = Formula> {
+        let atom = (
+            proptest::collection::btree_map("[xy]", -3i128..4, 1..3),
+            -6i128..6,
+            0usize..4,
+        )
+            .prop_map(|(coeffs, k, op)| {
+                let lhs = Lin::from_terms(
+                    coeffs
+                        .into_iter()
+                        .map(|(v, c)| (v, Rational::from(c)))
+                        .collect::<Vec<_>>(),
+                    Rational::from(k),
+                );
+                let c = match op {
+                    0 => Constraint::ge(lhs, Lin::zero()),
+                    1 => Constraint::eq(lhs, Lin::zero()),
+                    2 => Constraint::lt(lhs, Lin::zero()),
+                    _ => Constraint::ne(lhs, Lin::zero()),
+                };
+                Formula::Atom(c)
+            });
+        atom.prop_recursive(3, 12, 3, |inner| {
+            prop_oneof![
+                proptest::collection::vec(inner.clone(), 1..3).prop_map(Formula::and),
+                proptest::collection::vec(inner.clone(), 1..3).prop_map(Formula::or),
+                inner.prop_map(|f| f.negate()),
+            ]
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// A concrete witness implies satisfiability (no false "unsat" answers).
+        #[test]
+        fn prop_witness_implies_sat(f in small_formula(), env in small_env()) {
+            if f.eval(&env, 4) {
+                prop_assert!(is_sat(&f));
+            }
+        }
+
+        /// DNF preserves satisfiability witnesses.
+        #[test]
+        fn prop_dnf_preserves_witness(f in small_formula(), env in small_env()) {
+            let cubes = crate::dnf::to_dnf(&f);
+            let dnf_holds = cubes.iter().any(|cube| cube.iter().all(|c| c.holds(&env)));
+            prop_assert_eq!(f.eval(&env, 4), dnf_holds);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Lexicographic linear ranking-function synthesis.
+//!
+//! The paper (Sec. 5.4) mentions that HIPTNT+ "also supports the synthesis of
+//! lexicographic ranking functions". We implement the standard iterative
+//! edge-elimination scheme (à la Alias–Darte–Feautrier / Bradley): repeatedly find a
+//! single affine component that is bounded and non-increasing on every remaining
+//! transition and strictly decreasing on at least one; remove every transition on
+//! which it strictly decreases; repeat until no transitions remain. The sequence of
+//! components, in discovery order, is a valid lexicographic ranking measure.
+
+use crate::linear::Lin;
+use crate::ranking::{NodeId, RankingProblem, Transition};
+use std::collections::BTreeMap;
+
+/// A lexicographic measure: for each node, the ordered list of affine components.
+pub type LexicographicMeasure = BTreeMap<NodeId, Vec<Lin>>;
+
+/// Attempts to synthesize a lexicographic linear ranking measure of at most
+/// `max_components` components for the given problem.
+///
+/// Returns `None` if the iterative scheme gets stuck (no component can eliminate any
+/// remaining transition) or the component budget is exhausted.
+///
+/// # Examples
+///
+/// ```
+/// use tnt_solver::lexicographic::synthesize_lexicographic;
+/// use tnt_solver::ranking::{RankingProblem, Transition};
+/// use tnt_solver::{Ineq, Lin, Rational};
+///
+/// // while (x >= 0) { if (*) { x--; y = *; } else { y--; } }  needs measure [x, y] ... here a
+/// // simple countdown suffices to show the API shape:
+/// let mut p = RankingProblem::new();
+/// let n = p.add_node("loop", &["x"]);
+/// let mut guard = vec![Ineq::ge_zero(Lin::var("x"))];
+/// guard.extend(Ineq::eq_zero(Lin::var("x'").sub(&Lin::var("x")).add_const(Rational::one())));
+/// p.add_transition(Transition::new(n, n, vec!["x'".into()], guard));
+/// let measure = synthesize_lexicographic(&p, 3).unwrap();
+/// assert_eq!(measure[&n].len(), 1);
+/// ```
+pub fn synthesize_lexicographic(
+    problem: &RankingProblem,
+    max_components: usize,
+) -> Option<LexicographicMeasure> {
+    // Fast path: a single component handling everything at once.
+    if let Some(single) = problem.synthesize() {
+        return Some(single.into_iter().map(|(n, lin)| (n, vec![lin])).collect());
+    }
+
+    let mut remaining: Vec<&Transition> = problem.transitions().iter().collect();
+    let mut components: Vec<BTreeMap<NodeId, Lin>> = Vec::new();
+
+    while !remaining.is_empty() {
+        if components.len() >= max_components {
+            return None;
+        }
+        let mut chosen: Option<BTreeMap<NodeId, Lin>> = None;
+        for strict_index in 0..remaining.len() {
+            if let Some(measure) = problem.synthesize_component(&remaining, strict_index) {
+                chosen = Some(measure);
+                break;
+            }
+        }
+        let measure = chosen?;
+        // Remove every transition on which this component strictly decreases (and is
+        // bounded); at least one such transition exists by construction, but we verify
+        // via the sound Farkas check to stay conservative.
+        let before = remaining.len();
+        remaining.retain(|t| !problem.strictly_decreasing_on(&measure, t));
+        if remaining.len() == before {
+            // Defensive: the synthesis claimed strictness the checker cannot certify.
+            return None;
+        }
+        components.push(measure);
+    }
+
+    let mut result: LexicographicMeasure = BTreeMap::new();
+    for i in 0..problem.num_nodes() {
+        let node = NodeId(i);
+        let comps = components
+            .iter()
+            .map(|c| c.get(&node).cloned().unwrap_or_else(Lin::zero))
+            .collect();
+        result.insert(node, comps);
+    }
+    Some(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::Ineq;
+    use crate::rational::Rational;
+
+    fn r(n: i128) -> Rational {
+        Rational::from(n)
+    }
+
+    fn eq(lhs: Lin, rhs: Lin) -> Vec<Ineq> {
+        Ineq::eq_zero(lhs.sub(&rhs)).to_vec()
+    }
+
+    #[test]
+    fn single_component_when_possible() {
+        let mut p = RankingProblem::new();
+        let n = p.add_node("loop", &["x"]);
+        let mut guard = vec![Ineq::ge_zero(Lin::var("x"))];
+        guard.extend(eq(Lin::var("x'"), Lin::var("x").add_const(r(-1))));
+        p.add_transition(Transition::new(n, n, vec!["x'".into()], guard));
+        let measure = synthesize_lexicographic(&p, 3).expect("terminates");
+        assert_eq!(measure[&n].len(), 1);
+    }
+
+    #[test]
+    fn nested_loop_needs_two_components() {
+        // Two self-loop transitions over (i, j), both guarded by i >= 0:
+        //   t1: i' = i - 1, j' arbitrary large (modelled j' = j + i, no bound needed)
+        //   t2: i' = i,     j >= 0, j' = j - 1
+        // No single affine function decreases on both, but [i, j] works.
+        let mut p = RankingProblem::new();
+        let n = p.add_node("loop", &["i", "j"]);
+
+        let mut g1 = vec![Ineq::ge_zero(Lin::var("i"))];
+        g1.extend(eq(Lin::var("i'"), Lin::var("i").add_const(r(-1))));
+        g1.extend(eq(Lin::var("j'"), Lin::var("j").add(&Lin::var("i"))));
+        p.add_transition(Transition::new(n, n, vec!["i'".into(), "j'".into()], g1));
+
+        let mut g2 = vec![Ineq::ge_zero(Lin::var("i")), Ineq::ge_zero(Lin::var("j"))];
+        g2.extend(eq(Lin::var("i'"), Lin::var("i")));
+        g2.extend(eq(Lin::var("j'"), Lin::var("j").add_const(r(-1))));
+        p.add_transition(Transition::new(n, n, vec!["i'".into(), "j'".into()], g2));
+
+        assert!(p.synthesize().is_none(), "no single linear measure");
+        let measure = synthesize_lexicographic(&p, 4).expect("lexicographic measure exists");
+        assert!(measure[&n].len() >= 2);
+    }
+
+    #[test]
+    fn non_terminating_loop_has_no_measure() {
+        let mut p = RankingProblem::new();
+        let n = p.add_node("loop", &["x"]);
+        let mut guard = vec![Ineq::ge_zero(Lin::var("x"))];
+        guard.extend(eq(Lin::var("x'"), Lin::var("x").add_const(r(1))));
+        p.add_transition(Transition::new(n, n, vec!["x'".into()], guard));
+        assert!(synthesize_lexicographic(&p, 4).is_none());
+    }
+
+    #[test]
+    fn component_budget_respected() {
+        // Same nested-loop example but with budget 1: must fail.
+        let mut p = RankingProblem::new();
+        let n = p.add_node("loop", &["i", "j"]);
+        let mut g1 = vec![Ineq::ge_zero(Lin::var("i"))];
+        g1.extend(eq(Lin::var("i'"), Lin::var("i").add_const(r(-1))));
+        g1.extend(eq(Lin::var("j'"), Lin::var("j").add(&Lin::var("i"))));
+        p.add_transition(Transition::new(n, n, vec!["i'".into(), "j'".into()], g1));
+        let mut g2 = vec![Ineq::ge_zero(Lin::var("i")), Ineq::ge_zero(Lin::var("j"))];
+        g2.extend(eq(Lin::var("i'"), Lin::var("i")));
+        g2.extend(eq(Lin::var("j'"), Lin::var("j").add_const(r(-1))));
+        p.add_transition(Transition::new(n, n, vec!["i'".into(), "j'".into()], g2));
+        assert!(synthesize_lexicographic(&p, 1).is_none());
+    }
+}

@@ -1,0 +1,61 @@
+//! # tnt-solver
+//!
+//! Exact-arithmetic constraint solving back-end for the HIPTNT+ reproduction.
+//!
+//! The paper relies on two external solving capabilities:
+//!
+//! 1. a linear-programming / Farkas'-lemma engine used by `prove_Term` (Sec. 5.4) to
+//!    synthesize (lexicographic) linear ranking functions, and
+//! 2. a constraint solver used by the abductive inference of case-split conditions
+//!    (Sec. 5.6).
+//!
+//! This crate provides both, implemented from scratch:
+//!
+//! * [`Rational`] — exact rational numbers over `i128` with automatic normalisation.
+//! * [`simplex`] — a primal simplex method (Bland's rule, phase I/II) over exact rationals.
+//! * [`lp`] — a named-variable linear-program builder on top of the simplex core.
+//! * [`farkas`] — Farkas'-lemma encodings of universally quantified linear implications
+//!   into existentially quantified linear systems over multipliers and template parameters.
+//! * [`ranking`] — synthesis of linear ranking functions for a set of transitions
+//!   (one affine template per graph node, Podelski–Rybalchenko style).
+//! * [`lexicographic`] — synthesis of lexicographic linear ranking functions by the
+//!   standard iterative edge-elimination scheme.
+//!
+//! The crate is independent of the logic front-end: variables are plain strings and
+//! constraints are affine expressions in `≥ 0` normal form ([`linear::Ineq`]).
+//!
+//! # Example
+//!
+//! Synthesize a ranking function for the loop `while (x >= 0) x = x - 1;`:
+//!
+//! ```
+//! use tnt_solver::linear::{Ineq, Lin};
+//! use tnt_solver::ranking::{RankingProblem, Transition};
+//! use tnt_solver::Rational;
+//!
+//! let mut problem = RankingProblem::new();
+//! let node = problem.add_node("loop", &["x"]);
+//! // guard: x >= 0  /\  x' = x - 1
+//! let mut guard = vec![Ineq::ge_zero(Lin::var("x"))];
+//! guard.extend(Ineq::eq_zero(
+//!     Lin::var("x'").sub(&Lin::var("x")).add_const(Rational::from(1)),
+//! ));
+//! problem.add_transition(Transition::new(node, node, vec!["x'".to_string()], guard));
+//! let solution = problem.synthesize().expect("a linear ranking function exists");
+//! assert!(solution[&node].coeff("x") > Rational::zero());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod farkas;
+pub mod lexicographic;
+pub mod linear;
+pub mod lp;
+pub mod ranking;
+pub mod rational;
+pub mod simplex;
+
+pub use linear::{Ineq, Lin};
+pub use lp::{LpProblem, LpSolution, LpStatus};
+pub use rational::Rational;

@@ -1,0 +1,395 @@
+//! Exact rational arithmetic over `i128`.
+//!
+//! The simplex pivoting and Farkas encodings require exact arithmetic; floating point
+//! would make the (non-)termination verdicts unsound. Benchmarks in this reproduction
+//! keep coefficients small, so `i128` numerators/denominators with eager normalisation
+//! are more than sufficient (overflow panics loudly rather than corrupting results).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// An exact rational number `num / den` with `den > 0` and `gcd(num, den) = 1`.
+///
+/// # Examples
+///
+/// ```
+/// use tnt_solver::Rational;
+/// let a = Rational::new(1, 3);
+/// let b = Rational::new(1, 6);
+/// assert_eq!(a + b, Rational::new(1, 2));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rational {
+    /// Creates a rational `num / den`, normalising the sign and common factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "rational with zero denominator");
+        let mut num = num;
+        let mut den = den;
+        if den < 0 {
+            num = -num;
+            den = -den;
+        }
+        let g = gcd(num, den);
+        if g > 1 {
+            num /= g;
+            den /= g;
+        }
+        Rational { num, den }
+    }
+
+    /// The rational zero.
+    pub fn zero() -> Self {
+        Rational { num: 0, den: 1 }
+    }
+
+    /// The rational one.
+    pub fn one() -> Self {
+        Rational { num: 1, den: 1 }
+    }
+
+    /// Numerator (after normalisation; carries the sign).
+    pub fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// Returns `true` if the value is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Returns `true` if the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num > 0
+    }
+
+    /// Returns `true` if the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num < 0
+    }
+
+    /// Returns `true` if the value is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Self {
+        Rational {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is zero.
+    pub fn recip(&self) -> Self {
+        assert!(self.num != 0, "reciprocal of zero");
+        Rational::new(self.den, self.num)
+    }
+
+    /// Floor of the rational as an integer.
+    pub fn floor(&self) -> i128 {
+        if self.num >= 0 {
+            self.num / self.den
+        } else {
+            -((-self.num + self.den - 1) / self.den)
+        }
+    }
+
+    /// Ceiling of the rational as an integer.
+    pub fn ceil(&self) -> i128 {
+        -((-*self).floor())
+    }
+
+    /// Rounds towards the nearest integer (ties towards +∞).
+    pub fn round(&self) -> i128 {
+        (*self + Rational::new(1, 2)).floor()
+    }
+
+    /// Converts to `f64` (for reporting only — never used in decisions).
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    fn checked_add(&self, other: &Self) -> Self {
+        let g = gcd(self.den, other.den);
+        let lcm_part = other.den / g;
+        let num = self
+            .num
+            .checked_mul(lcm_part)
+            .and_then(|a| other.num.checked_mul(self.den / g).map(|b| (a, b)))
+            .and_then(|(a, b)| a.checked_add(b))
+            .expect("rational addition overflow");
+        let den = self
+            .den
+            .checked_mul(lcm_part)
+            .expect("rational addition overflow");
+        Rational::new(num, den)
+    }
+
+    fn checked_mul(&self, other: &Self) -> Self {
+        let g1 = gcd(self.num, other.den);
+        let g2 = gcd(other.num, self.den);
+        let num = (self.num / g1)
+            .checked_mul(other.num / g2)
+            .expect("rational multiplication overflow");
+        let den = (self.den / g2)
+            .checked_mul(other.den / g1)
+            .expect("rational multiplication overflow");
+        Rational::new(num, den)
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::zero()
+    }
+}
+
+impl From<i128> for Rational {
+    fn from(value: i128) -> Self {
+        Rational { num: value, den: 1 }
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(value: i64) -> Self {
+        Rational::from(value as i128)
+    }
+}
+
+impl From<i32> for Rational {
+    fn from(value: i32) -> Self {
+        Rational::from(value as i128)
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        self.checked_add(&rhs)
+    }
+}
+
+impl AddAssign for Rational {
+    fn add_assign(&mut self, rhs: Rational) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        self.checked_add(&(-rhs))
+    }
+}
+
+impl SubAssign for Rational {
+    fn sub_assign(&mut self, rhs: Rational) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        self.checked_mul(&rhs)
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    fn div(self, rhs: Rational) -> Rational {
+        self.checked_mul(&rhs.recip())
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Compare a/b with c/d by comparing a*d with c*b (b, d > 0).
+        let lhs = self
+            .num
+            .checked_mul(other.den)
+            .expect("rational comparison overflow");
+        let rhs = other
+            .num
+            .checked_mul(self.den)
+            .expect("rational comparison overflow");
+        lhs.cmp(&rhs)
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn normalisation() {
+        assert_eq!(Rational::new(2, 4), Rational::new(1, 2));
+        assert_eq!(Rational::new(-2, -4), Rational::new(1, 2));
+        assert_eq!(Rational::new(2, -4), Rational::new(-1, 2));
+        assert_eq!(Rational::new(0, 5), Rational::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rational::new(1, 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rational::new(1, 3);
+        let b = Rational::new(1, 6);
+        assert_eq!(a + b, Rational::new(1, 2));
+        assert_eq!(a - b, Rational::new(1, 6));
+        assert_eq!(a * b, Rational::new(1, 18));
+        assert_eq!(a / b, Rational::from(2));
+        assert_eq!(-a, Rational::new(-1, 3));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rational::new(1, 3) < Rational::new(1, 2));
+        assert!(Rational::new(-1, 2) < Rational::zero());
+        assert!(Rational::from(3) > Rational::new(5, 2));
+    }
+
+    #[test]
+    fn floor_ceil_round() {
+        assert_eq!(Rational::new(7, 2).floor(), 3);
+        assert_eq!(Rational::new(7, 2).ceil(), 4);
+        assert_eq!(Rational::new(-7, 2).floor(), -4);
+        assert_eq!(Rational::new(-7, 2).ceil(), -3);
+        assert_eq!(Rational::new(5, 1).floor(), 5);
+        assert_eq!(Rational::new(5, 1).ceil(), 5);
+        assert_eq!(Rational::new(7, 2).round(), 4);
+        assert_eq!(Rational::new(5, 2).round(), 3);
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Rational::zero().is_zero());
+        assert!(Rational::one().is_positive());
+        assert!((-Rational::one()).is_negative());
+        assert!(Rational::from(4).is_integer());
+        assert!(!Rational::new(1, 2).is_integer());
+    }
+
+    #[test]
+    fn recip() {
+        assert_eq!(Rational::new(3, 4).recip(), Rational::new(4, 3));
+        assert_eq!(Rational::new(-3, 4).recip(), Rational::new(-4, 3));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rational::new(3, 4).to_string(), "3/4");
+        assert_eq!(Rational::from(-7).to_string(), "-7");
+    }
+
+    fn small_rational() -> impl Strategy<Value = Rational> {
+        (-1000i128..1000, 1i128..100).prop_map(|(n, d)| Rational::new(n, d))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_commutative(a in small_rational(), b in small_rational()) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn prop_add_associative(a in small_rational(), b in small_rational(), c in small_rational()) {
+            prop_assert_eq!((a + b) + c, a + (b + c));
+        }
+
+        #[test]
+        fn prop_mul_distributes(a in small_rational(), b in small_rational(), c in small_rational()) {
+            prop_assert_eq!(a * (b + c), a * b + a * c);
+        }
+
+        #[test]
+        fn prop_sub_then_add_roundtrip(a in small_rational(), b in small_rational()) {
+            prop_assert_eq!(a - b + b, a);
+        }
+
+        #[test]
+        fn prop_floor_le_value_le_ceil(a in small_rational()) {
+            prop_assert!(Rational::from(a.floor()) <= a);
+            prop_assert!(a <= Rational::from(a.ceil()));
+        }
+
+        #[test]
+        fn prop_ordering_consistent_with_sub(a in small_rational(), b in small_rational()) {
+            prop_assert_eq!(a < b, (a - b).is_negative());
+        }
+
+        #[test]
+        fn prop_recip_involution(a in small_rational()) {
+            prop_assume!(!a.is_zero());
+            prop_assert_eq!(a.recip().recip(), a);
+        }
+    }
+}

@@ -1,0 +1,486 @@
+//! A two-phase primal simplex method over exact rationals.
+//!
+//! The solver works on problems in *standard form*: minimise `cᵀx` subject to linear
+//! constraints over non-negative variables. [`crate::lp`] provides a friendlier,
+//! named-variable interface (including free variables) on top of this module.
+//!
+//! Bland's anti-cycling rule is used throughout, so the method always terminates.
+
+use crate::rational::Rational;
+
+/// Comparison operator of a standard-form constraint row.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RowOp {
+    /// `Σ aᵢxᵢ ≤ b`
+    Le,
+    /// `Σ aᵢxᵢ ≥ b`
+    Ge,
+    /// `Σ aᵢxᵢ = b`
+    Eq,
+}
+
+/// A linear program in standard form: minimise `cᵀx` s.t. rows, `x ≥ 0`.
+#[derive(Clone, Debug, Default)]
+pub struct StandardForm {
+    /// Number of decision variables (all constrained to be non-negative).
+    pub num_vars: usize,
+    /// Constraint rows `(coefficients, op, rhs)`; `coefficients.len() == num_vars`.
+    pub rows: Vec<(Vec<Rational>, RowOp, Rational)>,
+    /// Objective coefficients to minimise; `objective.len() == num_vars`.
+    pub objective: Vec<Rational>,
+}
+
+/// Result of solving a standard-form program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimplexOutcome {
+    /// An optimal solution was found.
+    Optimal {
+        /// The minimal objective value.
+        objective: Rational,
+        /// A value for every decision variable.
+        solution: Vec<Rational>,
+    },
+    /// The constraint system has no solution with `x ≥ 0`.
+    Infeasible,
+    /// The objective is unbounded below on the feasible region.
+    Unbounded {
+        /// A feasible point witnessing the region is non-empty.
+        solution: Vec<Rational>,
+    },
+}
+
+impl SimplexOutcome {
+    /// Returns `true` for [`SimplexOutcome::Infeasible`].
+    pub fn is_infeasible(&self) -> bool {
+        matches!(self, SimplexOutcome::Infeasible)
+    }
+
+    /// Returns the solution vector if the region was feasible.
+    pub fn solution(&self) -> Option<&[Rational]> {
+        match self {
+            SimplexOutcome::Optimal { solution, .. } => Some(solution),
+            SimplexOutcome::Unbounded { solution } => Some(solution),
+            SimplexOutcome::Infeasible => None,
+        }
+    }
+}
+
+struct Tableau {
+    /// `rows x cols` matrix; the last column is the right-hand side.
+    data: Vec<Vec<Rational>>,
+    /// Index of the basic variable of each row.
+    basis: Vec<usize>,
+    /// Total number of structural + slack + artificial columns (excludes rhs).
+    num_cols: usize,
+    /// Columns that are artificial variables (banned from entering in phase II).
+    artificial: Vec<bool>,
+}
+
+impl Tableau {
+    fn pivot(&mut self, row: usize, col: usize) {
+        let pivot_value = self.data[row][col];
+        debug_assert!(!pivot_value.is_zero());
+        let inv = pivot_value.recip();
+        for value in self.data[row].iter_mut() {
+            *value = *value * inv;
+        }
+        for r in 0..self.data.len() {
+            if r == row {
+                continue;
+            }
+            let factor = self.data[r][col];
+            if factor.is_zero() {
+                continue;
+            }
+            for c in 0..=self.num_cols {
+                let delta = self.data[row][c] * factor;
+                self.data[r][c] = self.data[r][c] - delta;
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    /// Runs simplex iterations minimising `objective` (one coefficient per column).
+    /// Returns `None` if unbounded, otherwise the optimal objective value.
+    fn minimise(&mut self, objective: &[Rational], allow_artificial: bool) -> Option<Rational> {
+        loop {
+            // Reduced costs: c_j - Σ_i c_{B_i} * T[i][j].
+            let mut entering = None;
+            for col in 0..self.num_cols {
+                if !allow_artificial && self.artificial[col] {
+                    continue;
+                }
+                if self.basis.contains(&col) {
+                    continue;
+                }
+                let mut reduced = objective[col];
+                for (row, &basic) in self.basis.iter().enumerate() {
+                    let cb = objective[basic];
+                    if !cb.is_zero() {
+                        reduced = reduced - cb * self.data[row][col];
+                    }
+                }
+                if reduced.is_negative() {
+                    entering = Some(col); // Bland: smallest index first
+                    break;
+                }
+            }
+            let Some(col) = entering else {
+                // Optimal: compute objective value from basic solution.
+                let mut value = Rational::zero();
+                for (row, &basic) in self.basis.iter().enumerate() {
+                    value = value + objective[basic] * self.data[row][self.num_cols];
+                }
+                return Some(value);
+            };
+            // Ratio test with Bland tie-breaking on the basic variable index.
+            let mut leaving: Option<(usize, Rational)> = None;
+            for row in 0..self.data.len() {
+                let coeff = self.data[row][col];
+                if coeff.is_positive() {
+                    let ratio = self.data[row][self.num_cols] / coeff;
+                    let better = match &leaving {
+                        None => true,
+                        Some((best_row, best_ratio)) => {
+                            ratio < *best_ratio
+                                || (ratio == *best_ratio && self.basis[row] < self.basis[*best_row])
+                        }
+                    };
+                    if better {
+                        leaving = Some((row, ratio));
+                    }
+                }
+            }
+            match leaving {
+                Some((row, _)) => self.pivot(row, col),
+                None => return None, // unbounded
+            }
+        }
+    }
+
+    fn basic_solution(&self, num_structural: usize) -> Vec<Rational> {
+        let mut solution = vec![Rational::zero(); num_structural];
+        for (row, &basic) in self.basis.iter().enumerate() {
+            if basic < num_structural {
+                solution[basic] = self.data[row][self.num_cols];
+            }
+        }
+        solution
+    }
+}
+
+/// Solves a standard-form linear program with the two-phase simplex method.
+///
+/// All decision variables are implicitly constrained to be non-negative.
+///
+/// # Examples
+///
+/// ```
+/// use tnt_solver::simplex::{solve, RowOp, SimplexOutcome, StandardForm};
+/// use tnt_solver::Rational;
+///
+/// // minimise -x subject to x <= 4 (so the optimum is x = 4, objective -4)
+/// let program = StandardForm {
+///     num_vars: 1,
+///     rows: vec![(vec![Rational::one()], RowOp::Le, Rational::from(4))],
+///     objective: vec![-Rational::one()],
+/// };
+/// match solve(&program) {
+///     SimplexOutcome::Optimal { objective, solution } => {
+///         assert_eq!(objective, Rational::from(-4));
+///         assert_eq!(solution[0], Rational::from(4));
+///     }
+///     other => panic!("unexpected outcome {other:?}"),
+/// }
+/// ```
+pub fn solve(program: &StandardForm) -> SimplexOutcome {
+    let num_structural = program.num_vars;
+    let num_rows = program.rows.len();
+
+    // Count slack and artificial columns.
+    let mut num_slack = 0;
+    for (_, op, _) in &program.rows {
+        match op {
+            RowOp::Le | RowOp::Ge => num_slack += 1,
+            RowOp::Eq => {}
+        }
+    }
+    // Upper bound: one artificial per row. We only materialise the ones we need.
+    let mut columns = num_structural + num_slack;
+    let mut data = Vec::with_capacity(num_rows);
+    let mut basis = vec![usize::MAX; num_rows];
+    let mut artificial_cols = Vec::new();
+
+    let mut slack_index = 0;
+    let mut pending_artificial = Vec::new();
+    for (row_idx, (coeffs, op, rhs)) in program.rows.iter().enumerate() {
+        assert_eq!(
+            coeffs.len(),
+            num_structural,
+            "row has wrong number of coefficients"
+        );
+        // Normalise so the right-hand side is non-negative.
+        let flip = rhs.is_negative();
+        let sign = if flip {
+            -Rational::one()
+        } else {
+            Rational::one()
+        };
+        let mut row: Vec<Rational> = coeffs.iter().map(|c| *c * sign).collect();
+        row.resize(num_structural + num_slack, Rational::zero());
+        let rhs = *rhs * sign;
+        let effective_op = match (op, flip) {
+            (RowOp::Le, false) | (RowOp::Ge, true) => RowOp::Le,
+            (RowOp::Ge, false) | (RowOp::Le, true) => RowOp::Ge,
+            (RowOp::Eq, _) => RowOp::Eq,
+        };
+        match effective_op {
+            RowOp::Le => {
+                row[num_structural + slack_index] = Rational::one();
+                basis[row_idx] = num_structural + slack_index;
+                slack_index += 1;
+            }
+            RowOp::Ge => {
+                row[num_structural + slack_index] = -Rational::one();
+                slack_index += 1;
+                pending_artificial.push(row_idx);
+            }
+            RowOp::Eq => pending_artificial.push(row_idx),
+        }
+        row.push(rhs);
+        data.push(row);
+    }
+
+    // Materialise artificial columns for rows that still lack a basic variable.
+    for &row_idx in &pending_artificial {
+        for row in data.iter_mut() {
+            row.insert(columns, Rational::zero());
+        }
+        for row in data.iter_mut() {
+            let rhs = row.pop().expect("rhs present");
+            row.push(rhs);
+        }
+        // The two loops above kept the rhs as the last element; set the new column.
+        data[row_idx][columns] = Rational::one();
+        basis[row_idx] = columns;
+        artificial_cols.push(columns);
+        columns += 1;
+    }
+
+    let mut artificial = vec![false; columns];
+    for &c in &artificial_cols {
+        artificial[c] = true;
+    }
+
+    let mut tableau = Tableau {
+        data,
+        basis,
+        num_cols: columns,
+        artificial: artificial.clone(),
+    };
+
+    // Phase I: minimise the sum of artificial variables.
+    if !artificial_cols.is_empty() {
+        let mut phase1 = vec![Rational::zero(); columns];
+        for &c in &artificial_cols {
+            phase1[c] = Rational::one();
+        }
+        let value = tableau
+            .minimise(&phase1, true)
+            .expect("phase I objective is bounded below by zero");
+        if value.is_positive() {
+            return SimplexOutcome::Infeasible;
+        }
+        // Drive any artificial variables remaining in the basis out of it.
+        for row in 0..tableau.basis.len() {
+            let basic = tableau.basis[row];
+            if artificial[basic] {
+                let pivot_col =
+                    (0..columns).find(|&c| !artificial[c] && !tableau.data[row][c].is_zero());
+                if let Some(col) = pivot_col {
+                    tableau.pivot(row, col);
+                }
+                // If no pivot column exists the row is redundant; the artificial stays
+                // basic at value zero, which is harmless because it cannot re-enter.
+            }
+        }
+    }
+
+    // Phase II: minimise the real objective.
+    let mut objective = vec![Rational::zero(); columns];
+    objective[..num_structural].copy_from_slice(&program.objective);
+    match tableau.minimise(&objective, false) {
+        Some(value) => SimplexOutcome::Optimal {
+            objective: value,
+            solution: tableau.basic_solution(num_structural),
+        },
+        None => SimplexOutcome::Unbounded {
+            solution: tableau.basic_solution(num_structural),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128) -> Rational {
+        Rational::from(n)
+    }
+
+    #[test]
+    fn feasibility_only() {
+        // x + y = 3, x <= 2 has solutions with x, y >= 0.
+        let program = StandardForm {
+            num_vars: 2,
+            rows: vec![
+                (vec![r(1), r(1)], RowOp::Eq, r(3)),
+                (vec![r(1), r(0)], RowOp::Le, r(2)),
+            ],
+            objective: vec![r(0), r(0)],
+        };
+        let outcome = solve(&program);
+        let solution = outcome.solution().expect("feasible");
+        assert_eq!(solution[0] + solution[1], r(3));
+        assert!(solution[0] <= r(2));
+    }
+
+    #[test]
+    fn infeasible_system() {
+        // x <= 1 and x >= 2 is infeasible.
+        let program = StandardForm {
+            num_vars: 1,
+            rows: vec![(vec![r(1)], RowOp::Le, r(1)), (vec![r(1)], RowOp::Ge, r(2))],
+            objective: vec![r(0)],
+        };
+        assert!(solve(&program).is_infeasible());
+    }
+
+    #[test]
+    fn optimisation() {
+        // maximise x + 2y s.t. x + y <= 4, y <= 3  => minimise -(x + 2y), optimum at (1, 3).
+        let program = StandardForm {
+            num_vars: 2,
+            rows: vec![
+                (vec![r(1), r(1)], RowOp::Le, r(4)),
+                (vec![r(0), r(1)], RowOp::Le, r(3)),
+            ],
+            objective: vec![r(-1), r(-2)],
+        };
+        match solve(&program) {
+            SimplexOutcome::Optimal {
+                objective,
+                solution,
+            } => {
+                assert_eq!(objective, r(-7));
+                assert_eq!(solution[0], r(1));
+                assert_eq!(solution[1], r(3));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbounded_objective() {
+        // minimise -x with only x >= 1: unbounded below.
+        let program = StandardForm {
+            num_vars: 1,
+            rows: vec![(vec![r(1)], RowOp::Ge, r(1))],
+            objective: vec![r(-1)],
+        };
+        match solve(&program) {
+            SimplexOutcome::Unbounded { solution } => assert!(solution[0] >= r(1)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_rhs_normalisation() {
+        // -x <= -3  means x >= 3.
+        let program = StandardForm {
+            num_vars: 1,
+            rows: vec![(vec![r(-1)], RowOp::Le, r(-3))],
+            objective: vec![r(1)],
+        };
+        match solve(&program) {
+            SimplexOutcome::Optimal {
+                objective,
+                solution,
+            } => {
+                assert_eq!(objective, r(3));
+                assert_eq!(solution[0], r(3));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equality_only_system() {
+        // x = 5 (with x >= 0): feasible; minimise x gives 5.
+        let program = StandardForm {
+            num_vars: 1,
+            rows: vec![(vec![r(1)], RowOp::Eq, r(5))],
+            objective: vec![r(1)],
+        };
+        match solve(&program) {
+            SimplexOutcome::Optimal { objective, .. } => assert_eq!(objective, r(5)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_does_not_cycle() {
+        // Beale's classically degenerate (cycling) instance; Bland's rule must terminate
+        // and reach the known optimum of -1/20.
+        let program = StandardForm {
+            num_vars: 4,
+            rows: vec![
+                (
+                    vec![Rational::new(1, 4), r(-60), Rational::new(-1, 25), r(9)],
+                    RowOp::Le,
+                    r(0),
+                ),
+                (
+                    vec![Rational::new(1, 2), r(-90), Rational::new(-1, 50), r(3)],
+                    RowOp::Le,
+                    r(0),
+                ),
+                (vec![r(0), r(0), r(1), r(0)], RowOp::Le, r(1)),
+            ],
+            objective: vec![Rational::new(-3, 4), r(150), Rational::new(-1, 50), r(6)],
+        };
+        match solve(&program) {
+            SimplexOutcome::Optimal { objective, .. } => {
+                assert_eq!(objective, Rational::new(-1, 20))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn redundant_equalities() {
+        // x + y = 2 stated twice; still feasible.
+        let program = StandardForm {
+            num_vars: 2,
+            rows: vec![
+                (vec![r(1), r(1)], RowOp::Eq, r(2)),
+                (vec![r(1), r(1)], RowOp::Eq, r(2)),
+            ],
+            objective: vec![r(0), r(0)],
+        };
+        assert!(solve(&program).solution().is_some());
+    }
+
+    #[test]
+    fn contradictory_equalities() {
+        let program = StandardForm {
+            num_vars: 2,
+            rows: vec![
+                (vec![r(1), r(1)], RowOp::Eq, r(2)),
+                (vec![r(1), r(1)], RowOp::Eq, r(3)),
+            ],
+            objective: vec![r(0), r(0)],
+        };
+        assert!(solve(&program).is_infeasible());
+    }
+}

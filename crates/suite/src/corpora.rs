@@ -1,0 +1,403 @@
+//! The benchmark corpora: suites of the same sizes as the paper's evaluation.
+
+use crate::templates::{self, BenchProgram};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+pub use crate::templates::Expected;
+
+/// Benchmark suite categories (the paper's four SV-COMP sub-suites plus the
+/// loop-based integer programs of Fig. 11).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Category {
+    /// Hand-crafted termination/non-termination examples (39 programs).
+    Crafted,
+    /// Programs from the termination literature (150 programs).
+    CraftedLit,
+    /// Arithmetic loop programs (68 programs).
+    Numeric,
+    /// Pointer/allocation programs (81 programs).
+    MemoryAlloca,
+    /// Loop-based integer programs for the T2 comparison (221 programs).
+    IntegerLoops,
+}
+
+impl Category {
+    /// The suite's display name (matching the paper's table headers).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Category::Crafted => "crafted",
+            Category::CraftedLit => "crafted-lit",
+            Category::Numeric => "numeric",
+            Category::MemoryAlloca => "memory-alloca",
+            Category::IntegerLoops => "integer-loops",
+        }
+    }
+}
+
+/// A whole benchmark suite.
+#[derive(Clone, Debug)]
+pub struct Suite {
+    /// The category.
+    pub category: Category,
+    /// The programs.
+    pub programs: Vec<BenchProgram>,
+}
+
+impl Suite {
+    /// Number of programs.
+    pub fn len(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// Returns `true` if the suite is empty.
+    pub fn is_empty(&self) -> bool {
+        self.programs.is_empty()
+    }
+}
+
+fn take(programs: &mut Vec<BenchProgram>, target: usize) {
+    programs.truncate(target);
+    assert_eq!(
+        programs.len(),
+        target,
+        "suite generator produced too few programs"
+    );
+}
+
+/// The `crafted` suite: 39 small programs exercising conditional termination,
+/// definite non-termination, recursion and a few deliberately hard shapes.
+pub fn crafted() -> Suite {
+    let mut rng = SmallRng::seed_from_u64(0xC0FFEE);
+    let mut programs = Vec::new();
+    for i in 0..8i128 {
+        programs.push(templates::countdown(
+            &format!("crafted_countdown_{i}"),
+            1 + (i % 3),
+        ));
+        programs.push(templates::paper_foo(
+            &format!("crafted_foo_{i}"),
+            rng.gen_range(-2i128..3),
+        ));
+    }
+    for i in 0..6i128 {
+        programs.push(templates::diverging_counter(
+            &format!("crafted_diverge_{i}"),
+            rng.gen_range(-2i128..3),
+            i % 2,
+        ));
+    }
+    for i in 0..5i128 {
+        programs.push(templates::converge(
+            &format!("crafted_converge_{i}"),
+            rng.gen_range(-5i128..6),
+        ));
+        programs.push(templates::phase_change_hard(
+            &format!("crafted_phase_{i}"),
+            1 + (i % 2),
+        ));
+    }
+    for i in 0..4i128 {
+        programs.push(templates::nondet_loop(&format!("crafted_nondet_{i}")));
+    }
+    programs.push(templates::infinite_loop("crafted_infinite"));
+    programs.push(templates::gcd_like("crafted_gcd"));
+    programs.push(templates::assumed_terminating("crafted_assumed", 1));
+    take(&mut programs, 39);
+    Suite {
+        category: Category::Crafted,
+        programs,
+    }
+}
+
+/// The `crafted-lit` suite: 150 programs modelled on termination-literature classics.
+pub fn crafted_lit() -> Suite {
+    let mut rng = SmallRng::seed_from_u64(0xBEEF);
+    let mut programs = Vec::new();
+    for i in 0..30i128 {
+        programs.push(templates::count_up(
+            &format!("lit_countup_{i}"),
+            rng.gen_range(-3i128..3),
+            1 + (i % 4),
+        ));
+    }
+    for i in 0..22i128 {
+        programs.push(templates::recursive_countdown(
+            &format!("lit_recdown_{i}"),
+            rng.gen_range(-2i128..3),
+            1 + (i % 3),
+        ));
+    }
+    for i in 0..16i128 {
+        programs.push(templates::mutual_recursion(
+            &format!("lit_mutual_{i}"),
+            1 + (i % 2),
+        ));
+        programs.push(templates::nested_loops(
+            &format!("lit_nested_{i}"),
+            1 + (i % 3),
+        ));
+    }
+    for i in 0..12i128 {
+        programs.push(templates::two_phase(
+            &format!("lit_twophase_{i}"),
+            1 + (i % 2),
+        ));
+    }
+    programs.push(templates::mccarthy91("lit_mccarthy91"));
+    programs.push(templates::ackermann("lit_ackermann"));
+    for i in 0..10i128 {
+        programs.push(templates::paper_foo(
+            &format!("lit_foo_{i}"),
+            rng.gen_range(-1i128..2),
+        ));
+    }
+    for i in 0..9i128 {
+        programs.push(templates::diverging_recursion(
+            &format!("lit_recup_{i}"),
+            rng.gen_range(-2i128..3),
+        ));
+    }
+    for i in 0..6i128 {
+        programs.push(templates::skipping_counter(
+            &format!("lit_skip_{i}"),
+            1 + (i % 3),
+        ));
+        programs.push(templates::gcd_like(&format!("lit_gcd_{i}")));
+    }
+    for i in 0..5i128 {
+        programs.push(templates::nondet_loop(&format!("lit_nondet_{i}")));
+        programs.push(templates::phase_change_hard(
+            &format!("lit_phase_{i}"),
+            1 + (i % 3),
+        ));
+    }
+    for i in 0..11i128 {
+        programs.push(templates::converge(
+            &format!("lit_converge_{i}"),
+            rng.gen_range(-8i128..9),
+        ));
+    }
+    take(&mut programs, 150);
+    Suite {
+        category: Category::CraftedLit,
+        programs,
+    }
+}
+
+/// The `numeric` suite: 68 arithmetic loop programs, almost all terminating
+/// (as in the paper, where every tool proves most of them).
+pub fn numeric() -> Suite {
+    let mut rng = SmallRng::seed_from_u64(0xFEED);
+    let mut programs = Vec::new();
+    for i in 0..24i128 {
+        programs.push(templates::countdown(
+            &format!("num_countdown_{i}"),
+            1 + (i % 5),
+        ));
+    }
+    for i in 0..20i128 {
+        programs.push(templates::count_up(
+            &format!("num_countup_{i}"),
+            rng.gen_range(-5i128..5),
+            1 + (i % 4),
+        ));
+    }
+    for i in 0..12i128 {
+        programs.push(templates::two_phase(
+            &format!("num_twophase_{i}"),
+            1 + (i % 3),
+        ));
+    }
+    for i in 0..8i128 {
+        programs.push(templates::nested_loops(
+            &format!("num_nested_{i}"),
+            1 + (i % 2),
+        ));
+    }
+    for i in 0..2i128 {
+        programs.push(templates::assumed_terminating(
+            &format!("num_assumed_{i}"),
+            1 + i,
+        ));
+        programs.push(templates::gcd_like(&format!("num_gcd_{i}")));
+    }
+    take(&mut programs, 68);
+    Suite {
+        category: Category::Numeric,
+        programs,
+    }
+}
+
+/// The `memory-alloca` suite: 81 pointer/allocation programs over linked lists.
+pub fn memory_alloca() -> Suite {
+    let mut programs = Vec::new();
+    for i in 0..26i128 {
+        programs.push(templates::list_traversal(&format!("mem_walk_{i}")));
+    }
+    for i in 0..22i128 {
+        programs.push(templates::alloc_then_count(
+            &format!("mem_alloc_{i}"),
+            1 + (i % 3),
+        ));
+    }
+    for i in 0..19i128 {
+        programs.push(templates::list_append(&format!("mem_append_{i}")));
+    }
+    for i in 0..6i128 {
+        programs.push(templates::circular_append(&format!("mem_cll_{i}")));
+    }
+    for i in 0..4i128 {
+        programs.push(templates::alloc_diverging(&format!("mem_leak_{i}")));
+        programs.push(templates::nondet_loop(&format!("mem_nondet_{i}")));
+    }
+    take(&mut programs, 81);
+    Suite {
+        category: Category::MemoryAlloca,
+        programs,
+    }
+}
+
+/// The four SV-COMP-like suites of Fig. 10, in table order.
+pub fn svcomp_suites() -> Vec<Suite> {
+    vec![crafted(), crafted_lit(), numeric(), memory_alloca()]
+}
+
+/// The 221 loop-based integer programs of Fig. 11 (no recursion, no pointers).
+pub fn integer_loops() -> Suite {
+    let mut rng = SmallRng::seed_from_u64(0xABCD);
+    let mut programs = Vec::new();
+    for i in 0..64i128 {
+        programs.push(templates::countdown(
+            &format!("loop_countdown_{i}"),
+            1 + (i % 6),
+        ));
+    }
+    for i in 0..52i128 {
+        programs.push(templates::count_up(
+            &format!("loop_countup_{i}"),
+            rng.gen_range(-8i128..8),
+            1 + (i % 5),
+        ));
+    }
+    for i in 0..26i128 {
+        programs.push(templates::nested_loops(
+            &format!("loop_nested_{i}"),
+            1 + (i % 3),
+        ));
+    }
+    for i in 0..22i128 {
+        programs.push(templates::two_phase(
+            &format!("loop_twophase_{i}"),
+            1 + (i % 4),
+        ));
+    }
+    for i in 0..14i128 {
+        programs.push(templates::converge(
+            &format!("loop_converge_{i}"),
+            rng.gen_range(-6i128..7),
+        ));
+    }
+    for i in 0..18i128 {
+        programs.push(templates::diverging_counter(
+            &format!("loop_diverge_{i}"),
+            rng.gen_range(-3i128..4),
+            i % 3,
+        ));
+    }
+    for i in 0..6i128 {
+        programs.push(templates::skipping_counter(
+            &format!("loop_skip_{i}"),
+            1 + (i % 2),
+        ));
+        programs.push(templates::infinite_loop(&format!("loop_infinite_{i}")));
+    }
+    for i in 0..8i128 {
+        programs.push(templates::nondet_loop(&format!("loop_nondet_{i}")));
+    }
+    for i in 0..7i128 {
+        programs.push(templates::phase_change_hard(
+            &format!("loop_phase_{i}"),
+            1 + (i % 3),
+        ));
+    }
+    for i in 0..6i128 {
+        programs.push(templates::gcd_like(&format!("loop_gcd_{i}")));
+    }
+    take(&mut programs, 221);
+    Suite {
+        category: Category::IntegerLoops,
+        programs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn suite_sizes_match_the_paper() {
+        assert_eq!(crafted().len(), 39);
+        assert_eq!(crafted_lit().len(), 150);
+        assert_eq!(numeric().len(), 68);
+        assert_eq!(memory_alloca().len(), 81);
+        assert_eq!(svcomp_suites().iter().map(Suite::len).sum::<usize>(), 338);
+        assert_eq!(integer_loops().len(), 221);
+    }
+
+    #[test]
+    fn program_names_are_unique_within_a_suite() {
+        for suite in svcomp_suites().into_iter().chain([integer_loops()]) {
+            let names: BTreeSet<&str> = suite.programs.iter().map(|p| p.name.as_str()).collect();
+            assert_eq!(names.len(), suite.len(), "{:?}", suite.category);
+        }
+    }
+
+    #[test]
+    fn suites_are_deterministic() {
+        let a = crafted();
+        let b = crafted();
+        for (x, y) in a.programs.iter().zip(&b.programs) {
+            assert_eq!(x.source, y.source);
+            assert_eq!(x.expected, y.expected);
+        }
+    }
+
+    #[test]
+    fn integer_loops_have_no_heap_or_recursion() {
+        for p in &integer_loops().programs {
+            assert!(!p.uses_heap, "{}", p.name);
+            assert!(!p.uses_recursion, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn every_program_passes_the_frontend() {
+        for suite in svcomp_suites().into_iter().chain([integer_loops()]) {
+            for p in &suite.programs {
+                tnt_lang::frontend(&p.source)
+                    .unwrap_or_else(|e| panic!("{} fails the frontend: {e}", p.name));
+            }
+        }
+    }
+
+    #[test]
+    fn verdict_class_mix_matches_the_paper() {
+        for suite in svcomp_suites().into_iter().chain([integer_loops()]) {
+            let terminating = suite
+                .programs
+                .iter()
+                .filter(|p| p.expected == Expected::Terminating)
+                .count();
+            assert!(terminating > 0, "{:?}", suite.category);
+            // The `numeric` suite is (as in the paper) entirely terminating; every
+            // other suite contains genuinely non-terminating programs.
+            if suite.category != Category::Numeric {
+                assert!(terminating < suite.len(), "{:?}", suite.category);
+            } else {
+                assert_eq!(terminating, suite.len());
+            }
+        }
+    }
+}

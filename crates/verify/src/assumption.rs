@@ -1,0 +1,202 @@
+//! Relational assumptions over unknown temporal predicates (paper Def. 1) and the
+//! triviality filter of rule `TNT-CALL`.
+
+use crate::temporal::{PredInstance, Temporal};
+use std::fmt;
+use tnt_logic::{sat, Formula};
+
+/// A *pre-assumption*, generated when proving a callee's precondition at a call site:
+/// `ctx ∧ antecedent ⇒ consequent` (Def. 1, case (iii)).
+///
+/// The antecedent is the caller's temporal constraint (usually its unknown
+/// pre-predicate), the consequent is the callee's.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PreAssumption {
+    /// The pure call context `ρ` (over the caller's logical variables).
+    pub ctx: Formula,
+    /// The caller's temporal constraint `θa`.
+    pub antecedent: Temporal,
+    /// The callee's temporal constraint `θc`.
+    pub consequent: Temporal,
+}
+
+impl fmt::Display for PreAssumption {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} & {} => {}",
+            self.ctx, self.antecedent, self.consequent
+        )
+    }
+}
+
+/// The status of a postcondition position.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PostStatus {
+    /// The exit is reachable (`true`).
+    Reachable,
+    /// The exit is unreachable (`false`) — definite non-termination upstream.
+    Unreachable,
+    /// An unknown post-predicate instance `U_po(v)`.
+    Unknown(PredInstance),
+}
+
+impl PostStatus {
+    /// Returns `true` for [`PostStatus::Unknown`].
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, PostStatus::Unknown(_))
+    }
+}
+
+impl fmt::Display for PostStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PostStatus::Reachable => write!(f, "true"),
+            PostStatus::Unreachable => write!(f, "false"),
+            PostStatus::Unknown(inst) => write!(f, "{inst}"),
+        }
+    }
+}
+
+/// A *post-assumption*, generated when proving the method's postcondition at an exit
+/// point (Def. 1, case (ii)):
+///
+/// `ctx ∧ ⋀ᵢ (guardᵢ ⇒ postᵢ) ⇒ (guard ⇒ target)`
+///
+/// where the `postᵢ` are the (guarded) post-statuses accumulated from the calls along
+/// the execution path, and `target` is the current method's post-predicate. Initially
+/// `guard` is `true`; specialisation during the inference introduces non-trivial guards.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PostAssumption {
+    /// The pure exit context `ρ`.
+    pub ctx: Formula,
+    /// Guarded post-statuses accumulated from callees along the path.
+    pub accumulated: Vec<(Formula, PostStatus)>,
+    /// The guard `µ` on the target post-predicate.
+    pub guard: Formula,
+    /// The method's post-predicate instance.
+    pub target: PredInstance,
+}
+
+impl PostAssumption {
+    /// Returns `true` if the antecedent contains no unknown post-predicate (the
+    /// base-case shape `ρ ∧ true ⇒ (µ ⇒ U_po(v))` of Sec. 5.5).
+    pub fn is_base_case(&self) -> bool {
+        !self.accumulated.iter().any(|(_, s)| s.is_unknown())
+            && !self
+                .accumulated
+                .iter()
+                .any(|(_, s)| matches!(s, PostStatus::Unreachable))
+    }
+}
+
+impl fmt::Display for PostAssumption {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.ctx)?;
+        for (guard, status) in &self.accumulated {
+            write!(f, " & ({guard} => {status})")?;
+        }
+        write!(f, " => ({} => {})", self.guard, self.target)
+    }
+}
+
+/// The triviality filter of rule `TNT-CALL`: returns `true` if the pre-assumption is
+/// trivial and should be dropped.
+///
+/// An assumption is trivial when (1) its context is unsatisfiable, (2) its antecedent is
+/// `Loop` or `MayLoop` (these accept any temporal constraint on the right), or (3) its
+/// consequent is a known `Term M` and caller and callee are not mutually recursive
+/// (`same_scc == false`).
+pub fn is_trivial_pre(assumption: &PreAssumption, same_scc: bool) -> bool {
+    if matches!(assumption.antecedent, Temporal::Loop | Temporal::MayLoop) {
+        return true;
+    }
+    if matches!(assumption.consequent, Temporal::Term(_)) && !same_scc {
+        return true;
+    }
+    if sat::is_unsat(&assumption.ctx) {
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnt_logic::{num, var, Constraint};
+
+    fn upr(name: &str) -> Temporal {
+        Temporal::Unknown(PredInstance::new(name, vec![var("x")]))
+    }
+
+    #[test]
+    fn filter_drops_loop_and_mayloop_antecedents() {
+        let a = PreAssumption {
+            ctx: Formula::True,
+            antecedent: Temporal::Loop,
+            consequent: upr("Upr_g"),
+        };
+        assert!(is_trivial_pre(&a, true));
+        let b = PreAssumption {
+            antecedent: Temporal::MayLoop,
+            ..a
+        };
+        assert!(is_trivial_pre(&b, true));
+    }
+
+    #[test]
+    fn filter_drops_term_consequent_across_sccs() {
+        let a = PreAssumption {
+            ctx: Formula::True,
+            antecedent: upr("Upr_f"),
+            consequent: Temporal::Term(vec![var("x")]),
+        };
+        assert!(is_trivial_pre(&a, false));
+        assert!(!is_trivial_pre(&a, true));
+    }
+
+    #[test]
+    fn filter_drops_unsatisfiable_contexts() {
+        let a = PreAssumption {
+            ctx: Constraint::lt(num(1), num(0)).into(),
+            antecedent: upr("Upr_f"),
+            consequent: upr("Upr_f"),
+        };
+        assert!(is_trivial_pre(&a, true));
+    }
+
+    #[test]
+    fn unknown_to_unknown_assumptions_are_kept() {
+        let a = PreAssumption {
+            ctx: Constraint::ge(var("x"), num(0)).into(),
+            antecedent: upr("Upr_f"),
+            consequent: upr("Upr_g"),
+        };
+        assert!(!is_trivial_pre(&a, false));
+        assert!(!is_trivial_pre(&a, true));
+    }
+
+    #[test]
+    fn base_case_detection() {
+        let base = PostAssumption {
+            ctx: Formula::True,
+            accumulated: vec![],
+            guard: Formula::True,
+            target: PredInstance::new("Upo_f", vec![var("x")]),
+        };
+        assert!(base.is_base_case());
+        let inductive = PostAssumption {
+            accumulated: vec![(
+                Formula::True,
+                PostStatus::Unknown(PredInstance::new("Upo_f", vec![var("x'")])),
+            )],
+            ..base.clone()
+        };
+        assert!(!inductive.is_base_case());
+        let after_loop_call = PostAssumption {
+            accumulated: vec![(Formula::True, PostStatus::Unreachable)],
+            ..base
+        };
+        assert!(!after_loop_call.is_base_case());
+    }
+}

@@ -1,0 +1,224 @@
+//! Call graph construction and SCC condensation.
+//!
+//! The inference rule `TNT-INF` processes whole groups of mutually recursive methods at
+//! once, bottom-up: callees before callers. This module builds the call graph of a
+//! program and returns its strongly connected components in reverse topological order
+//! (Tarjan's algorithm already emits them that way).
+
+use std::collections::{BTreeMap, BTreeSet};
+use tnt_lang::ast::Program;
+
+/// The call graph of a program (methods with bodies; calls to primitives are edges to
+/// nodes without outgoing edges).
+#[derive(Clone, Debug, Default)]
+pub struct CallGraph {
+    nodes: Vec<String>,
+    edges: BTreeMap<String, BTreeSet<String>>,
+    sccs: Vec<Vec<String>>,
+    scc_of: BTreeMap<String, usize>,
+}
+
+impl CallGraph {
+    /// Builds the call graph and its SCC condensation.
+    pub fn build(program: &Program) -> CallGraph {
+        let nodes: Vec<String> = program.methods.iter().map(|m| m.name.clone()).collect();
+        let mut edges: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for method in &program.methods {
+            let callees: BTreeSet<String> = program
+                .callees(method)
+                .into_iter()
+                .filter(|c| nodes.contains(c))
+                .collect();
+            edges.insert(method.name.clone(), callees);
+        }
+        let sccs = tarjan(&nodes, &edges);
+        let mut scc_of = BTreeMap::new();
+        for (i, scc) in sccs.iter().enumerate() {
+            for n in scc {
+                scc_of.insert(n.clone(), i);
+            }
+        }
+        CallGraph {
+            nodes,
+            edges,
+            sccs,
+            scc_of,
+        }
+    }
+
+    /// The strongly connected components in bottom-up (callees-first) order.
+    pub fn sccs(&self) -> &[Vec<String>] {
+        &self.sccs
+    }
+
+    /// Returns `true` if the two methods are mutually recursive (same SCC).
+    /// A method is in the same SCC as itself, so direct recursion also counts.
+    pub fn same_scc(&self, a: &str, b: &str) -> bool {
+        match (self.scc_of.get(a), self.scc_of.get(b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    /// The direct callees of a method.
+    pub fn callees(&self, name: &str) -> impl Iterator<Item = &str> + '_ {
+        self.edges
+            .get(name)
+            .into_iter()
+            .flat_map(|s| s.iter().map(|x| x.as_str()))
+    }
+
+    /// Returns `true` if the method is (directly or mutually) recursive.
+    pub fn is_recursive(&self, name: &str) -> bool {
+        let Some(&scc) = self.scc_of.get(name) else {
+            return false;
+        };
+        self.sccs[scc].len() > 1
+            || self
+                .edges
+                .get(name)
+                .map(|e| e.contains(name))
+                .unwrap_or(false)
+    }
+
+    /// All known method names.
+    pub fn methods(&self) -> &[String] {
+        &self.nodes
+    }
+}
+
+fn tarjan(nodes: &[String], edges: &BTreeMap<String, BTreeSet<String>>) -> Vec<Vec<String>> {
+    struct State<'a> {
+        edges: &'a BTreeMap<String, BTreeSet<String>>,
+        index: usize,
+        indices: BTreeMap<String, usize>,
+        lowlink: BTreeMap<String, usize>,
+        on_stack: BTreeSet<String>,
+        stack: Vec<String>,
+        sccs: Vec<Vec<String>>,
+    }
+
+    fn strongconnect(v: &str, st: &mut State<'_>) {
+        st.indices.insert(v.to_string(), st.index);
+        st.lowlink.insert(v.to_string(), st.index);
+        st.index += 1;
+        st.stack.push(v.to_string());
+        st.on_stack.insert(v.to_string());
+
+        let successors: Vec<String> = st
+            .edges
+            .get(v)
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default();
+        for w in successors {
+            if !st.indices.contains_key(&w) {
+                strongconnect(&w, st);
+                let low = st.lowlink[&w].min(st.lowlink[v]);
+                st.lowlink.insert(v.to_string(), low);
+            } else if st.on_stack.contains(&w) {
+                let low = st.indices[&w].min(st.lowlink[v]);
+                st.lowlink.insert(v.to_string(), low);
+            }
+        }
+
+        if st.lowlink[v] == st.indices[v] {
+            let mut scc = Vec::new();
+            loop {
+                let w = st.stack.pop().expect("non-empty stack");
+                st.on_stack.remove(&w);
+                let done = w == v;
+                scc.push(w);
+                if done {
+                    break;
+                }
+            }
+            scc.sort();
+            st.sccs.push(scc);
+        }
+    }
+
+    let mut state = State {
+        edges,
+        index: 0,
+        indices: BTreeMap::new(),
+        lowlink: BTreeMap::new(),
+        on_stack: BTreeSet::new(),
+        stack: Vec::new(),
+        sccs: Vec::new(),
+    };
+    for n in nodes {
+        if !state.indices.contains_key(n) {
+            strongconnect(n, &mut state);
+        }
+    }
+    state.sccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnt_lang::parse_program;
+
+    #[test]
+    fn direct_recursion_detected() {
+        let program = parse_program(
+            r#"void f(int x) { f(x - 1); }
+               void g(int x) { return; }"#,
+        )
+        .unwrap();
+        let graph = CallGraph::build(&program);
+        assert!(graph.is_recursive("f"));
+        assert!(!graph.is_recursive("g"));
+        assert!(graph.same_scc("f", "f"));
+        assert!(!graph.same_scc("f", "g"));
+    }
+
+    #[test]
+    fn mutual_recursion_in_one_scc() {
+        let program = parse_program(
+            r#"void even(int n) { odd(n - 1); }
+               void odd(int n) { even(n - 1); }
+               void main(int n) { even(n); }"#,
+        )
+        .unwrap();
+        let graph = CallGraph::build(&program);
+        assert!(graph.same_scc("even", "odd"));
+        assert!(!graph.same_scc("main", "even"));
+        assert!(graph.is_recursive("even"));
+        assert!(!graph.is_recursive("main"));
+    }
+
+    #[test]
+    fn bottom_up_order_puts_callees_first() {
+        let program = parse_program(
+            r#"void a(int n) { b(n); c(n); }
+               void b(int n) { c(n); }
+               void c(int n) { return; }"#,
+        )
+        .unwrap();
+        let graph = CallGraph::build(&program);
+        let order: Vec<usize> = ["c", "b", "a"]
+            .iter()
+            .map(|m| {
+                graph
+                    .sccs()
+                    .iter()
+                    .position(|scc| scc.contains(&m.to_string()))
+                    .unwrap()
+            })
+            .collect();
+        assert!(order[0] < order[1] && order[1] < order[2]);
+    }
+
+    #[test]
+    fn callees_listed() {
+        let program = parse_program(
+            r#"void a(int n) { b(n); b(n + 1); }
+               void b(int n) { return; }"#,
+        )
+        .unwrap();
+        let graph = CallGraph::build(&program);
+        assert_eq!(graph.callees("a").collect::<Vec<_>>(), vec!["b"]);
+        assert_eq!(graph.methods().len(), 2);
+    }
+}

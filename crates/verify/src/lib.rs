@@ -1,0 +1,55 @@
+//! # tnt-verify
+//!
+//! Hoare-style forward verification with temporal (termination/non-termination)
+//! reasoning, as described in Sections 3 and 4 of the paper.
+//!
+//! The crate provides:
+//!
+//! * [`resource`] — the resource-capacity semantics of the temporal predicates
+//!   (`Term [e] = RC⟨0, f([e])⟩`, `Loop = RC⟨∞,∞⟩`, `MayLoop = RC⟨0,∞⟩`), the
+//!   extended-naturals subtraction operators `−L`/`−U`, the subsumption relation `⇒r`
+//!   and the consumption entailment `⊢t` of Sec. 3.
+//! * [`temporal`] — the syntactic temporal constraints used during verification,
+//!   including the unknown pre/post-predicates `Upr(v)` / `Upo(v)`.
+//! * [`assumption`] — relational assumptions over unknown temporal predicates (Def. 1)
+//!   and the triviality filter of rule `TNT-CALL`.
+//! * [`specenv`] — the specification environment: each method's scenarios with the
+//!   unknown predicates that instrument methods lacking temporal annotations.
+//! * [`callgraph`] — call graph construction and SCC condensation for the bottom-up
+//!   processing order of rule `TNT-INF`.
+//! * [`symstate`] / [`hoare`] — disjunctive forward symbolic execution of method bodies
+//!   producing, per method, the pre-assumption set `S` (from proving callee
+//!   preconditions) and the post-assumption set `T` (from proving the method's
+//!   postcondition), exactly the inputs of the paper's `solve` procedure (Fig. 6).
+//!
+//! # Example
+//!
+//! ```
+//! let program = tnt_lang::frontend(r#"
+//!     void foo(int x, int y)
+//!     { if (x < 0) { return; } else { foo(x + y, y); } }
+//! "#).unwrap();
+//! let analysis = tnt_verify::hoare::verify_program(&program).unwrap();
+//! let foo = &analysis.methods["foo"];
+//! // One pre-assumption (the recursive call) and two post-assumptions
+//! // (the base-case exit and the exit after the recursive call).
+//! assert_eq!(foo.pre_assumptions.len(), 1);
+//! assert_eq!(foo.post_assumptions.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assumption;
+pub mod callgraph;
+pub mod hoare;
+pub mod resource;
+pub mod specenv;
+pub mod symstate;
+pub mod temporal;
+
+pub use assumption::{PostAssumption, PostStatus, PreAssumption};
+pub use callgraph::CallGraph;
+pub use hoare::{verify_program, MethodAnalysis, ProgramAnalysis, VerifyError};
+pub use specenv::{MethodSpec, Scenario, SpecEnv};
+pub use temporal::{PredInstance, Temporal};

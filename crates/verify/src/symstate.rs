@@ -1,0 +1,168 @@
+//! Disjunctive symbolic states for the forward verifier.
+
+use crate::assumption::PostStatus;
+use std::collections::BTreeMap;
+use tnt_heap::state::HeapState;
+use tnt_lang::ast::Expr;
+use tnt_lang::pure::{expr_to_formula, expr_to_lin, PureError};
+use tnt_logic::{sat, Formula, Lin};
+
+/// One path of the disjunctive symbolic execution.
+///
+/// Program variables are mapped to affine expressions over *logical* variables; the
+/// logical variable named like a parameter denotes the parameter's initial value, so
+/// constraints over the initial values (the paper's `x`, `y`) and the values at call
+/// sites (the paper's `x′`, `y′`) coexist in one pure formula.
+#[derive(Clone, Debug)]
+pub struct SymState {
+    /// Accumulated pure constraints.
+    pub pure: Formula,
+    /// Current symbolic heap.
+    pub heap: HeapState,
+    /// Current symbolic value of each program variable.
+    pub bindings: BTreeMap<String, Lin>,
+    /// Guarded post-statuses accumulated from the calls along this path
+    /// (the `⋀ᵢ (guardᵢ ⇒ postᵢ)` antecedent of the paper's post-assumptions).
+    pub accumulated: Vec<(Formula, PostStatus)>,
+    /// Set once the path has executed a `return`.
+    pub exited: bool,
+}
+
+impl SymState {
+    /// The initial state for a method body: parameters bound to themselves.
+    pub fn initial(params: &[String], pre_pure: Formula, heap: HeapState) -> SymState {
+        SymState {
+            pure: pre_pure,
+            heap,
+            bindings: params
+                .iter()
+                .map(|p| (p.clone(), Lin::var(p.clone())))
+                .collect(),
+            accumulated: Vec::new(),
+            exited: false,
+        }
+    }
+
+    /// The current symbolic value of a variable (variables never assigned keep their
+    /// own name as a logical variable).
+    pub fn value_of(&self, var: &str) -> Lin {
+        self.bindings
+            .get(var)
+            .cloned()
+            .unwrap_or_else(|| Lin::var(var))
+    }
+
+    /// Evaluates a *pure* arithmetic expression under the current bindings.
+    pub fn eval_lin(&self, expr: &Expr) -> Result<Lin, PureError> {
+        let raw = expr_to_lin(expr)?;
+        Ok(self.apply_bindings_lin(&raw))
+    }
+
+    /// Evaluates a *pure* boolean expression under the current bindings.
+    pub fn eval_formula(&self, expr: &Expr) -> Result<Formula, PureError> {
+        let raw = expr_to_formula(expr)?;
+        Ok(self.apply_bindings_formula(&raw))
+    }
+
+    /// Substitutes every program variable by its current symbolic value in an
+    /// affine expression.
+    pub fn apply_bindings_lin(&self, lin: &Lin) -> Lin {
+        let mut out = lin.clone();
+        for (var, value) in &self.bindings {
+            out = out.substitute(var, value);
+        }
+        out
+    }
+
+    /// Substitutes every program variable by its current symbolic value in a formula.
+    pub fn apply_bindings_formula(&self, formula: &Formula) -> Formula {
+        let mut out = formula.clone();
+        for (var, value) in &self.bindings {
+            out = out.substitute(var, value);
+        }
+        out
+    }
+
+    /// Conjoins a constraint to the path condition.
+    pub fn assume(&mut self, constraint: Formula) {
+        self.pure = std::mem::replace(&mut self.pure, Formula::True).and2(constraint);
+    }
+
+    /// Returns `true` if the path condition is satisfiable.
+    pub fn is_feasible(&self) -> bool {
+        sat::is_sat(&self.pure)
+    }
+
+    /// Rebinds a program variable to a new symbolic value.
+    pub fn bind(&mut self, var: &str, value: Lin) {
+        self.bindings.insert(var.to_string(), value);
+    }
+
+    /// Records a guarded post-status obtained from a call.
+    pub fn record_post(&mut self, status: PostStatus) {
+        self.accumulated.push((Formula::True, status));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnt_lang::parser::parse_expr;
+    use tnt_logic::{num, Constraint, Rational};
+
+    fn state() -> SymState {
+        SymState::initial(
+            &["x".to_string(), "y".to_string()],
+            Formula::True,
+            HeapState::emp(),
+        )
+    }
+
+    #[test]
+    fn initial_bindings_are_identity() {
+        let s = state();
+        assert_eq!(s.value_of("x"), Lin::var("x"));
+        assert_eq!(s.value_of("z"), Lin::var("z"));
+    }
+
+    #[test]
+    fn eval_uses_bindings() {
+        let mut s = state();
+        s.bind("x", Lin::var("x").add_const(Rational::from(1)));
+        let value = s.eval_lin(&parse_expr("x + y").unwrap()).unwrap();
+        assert_eq!(value.coeff("x"), Rational::one());
+        assert_eq!(value.coeff("y"), Rational::one());
+        assert_eq!(value.constant_term(), Rational::from(1));
+    }
+
+    #[test]
+    fn eval_formula_uses_bindings() {
+        let mut s = state();
+        s.bind("x", num(5));
+        let f = s.eval_formula(&parse_expr("x > 3").unwrap()).unwrap();
+        assert!(tnt_logic::entail::is_valid(&f));
+    }
+
+    #[test]
+    fn feasibility_tracks_assumptions() {
+        let mut s = state();
+        assert!(s.is_feasible());
+        s.assume(Constraint::ge(Lin::var("x"), num(0)).into());
+        s.assume(Constraint::lt(Lin::var("x"), num(0)).into());
+        assert!(!s.is_feasible());
+    }
+
+    #[test]
+    fn assignments_do_not_leak_into_initial_values() {
+        // After x = x + 1, the logical variable "x" still denotes the initial value:
+        // evaluating the program variable x gives x + 1.
+        let mut s = state();
+        let new_value = s.eval_lin(&parse_expr("x + 1").unwrap()).unwrap();
+        s.bind("x", new_value);
+        assert_eq!(s.value_of("x").constant_term(), Rational::from(1));
+        // A later assignment composes with the current value, not the initial one.
+        let newer = s.eval_lin(&parse_expr("x + 1").unwrap()).unwrap();
+        s.bind("x", newer);
+        assert_eq!(s.value_of("x").constant_term(), Rational::from(2));
+    }
+}

@@ -1,0 +1,144 @@
+//! Syntactic temporal constraints: the known predicates `Term [e]`, `Loop`, `MayLoop`
+//! and the unknown pre/post-predicates `Upr(v)` / `Upo(v)` of the paper.
+
+use crate::resource::Capacity;
+use std::fmt;
+use tnt_logic::Lin;
+
+/// An instance of an unknown temporal predicate: a name and its argument expressions
+/// (over the caller's logical variables).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PredInstance {
+    /// Predicate name (e.g. `Upr_foo` or, after case splitting, `Upr_foo$2`).
+    pub name: String,
+    /// Arguments, in the order of the method's integer parameters.
+    pub args: Vec<Lin>,
+}
+
+impl PredInstance {
+    /// Creates an instance.
+    pub fn new(name: impl Into<String>, args: Vec<Lin>) -> PredInstance {
+        PredInstance {
+            name: name.into(),
+            args,
+        }
+    }
+
+    /// Substitutes a variable by an expression in every argument.
+    pub fn substitute(&self, var: &str, by: &Lin) -> PredInstance {
+        PredInstance {
+            name: self.name.clone(),
+            args: self.args.iter().map(|a| a.substitute(var, by)).collect(),
+        }
+    }
+}
+
+impl fmt::Display for PredInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let args: Vec<String> = self.args.iter().map(|a| a.to_string()).collect();
+        write!(f, "{}({})", self.name, args.join(", "))
+    }
+}
+
+/// A temporal constraint attached to a scenario (a pre-predicate position).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Temporal {
+    /// Definite termination with the given lexicographic measure.
+    Term(Vec<Lin>),
+    /// Definite non-termination.
+    Loop,
+    /// Possible non-termination (unknown outcome).
+    MayLoop,
+    /// An unknown pre-predicate instance `Upr(v)`.
+    Unknown(PredInstance),
+}
+
+impl Temporal {
+    /// Returns `true` for an unknown pre-predicate.
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, Temporal::Unknown(_))
+    }
+
+    /// The resource capacity of a *known* temporal constraint (measures are mapped to
+    /// an unspecified finite bound, which is all the ⊢t checks need).
+    pub fn capacity(&self) -> Option<Capacity> {
+        match self {
+            Temporal::Term(_) => Some(Capacity::term(u64::MAX)),
+            Temporal::Loop => Some(Capacity::looping()),
+            Temporal::MayLoop => Some(Capacity::may_loop()),
+            Temporal::Unknown(_) => None,
+        }
+    }
+
+    /// Substitutes a variable by an expression in measures / arguments.
+    pub fn substitute(&self, var: &str, by: &Lin) -> Temporal {
+        match self {
+            Temporal::Term(measure) => {
+                Temporal::Term(measure.iter().map(|m| m.substitute(var, by)).collect())
+            }
+            Temporal::Loop => Temporal::Loop,
+            Temporal::MayLoop => Temporal::MayLoop,
+            Temporal::Unknown(inst) => Temporal::Unknown(inst.substitute(var, by)),
+        }
+    }
+}
+
+impl fmt::Display for Temporal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Temporal::Term(measure) if measure.is_empty() => write!(f, "Term"),
+            Temporal::Term(measure) => {
+                let parts: Vec<String> = measure.iter().map(|m| m.to_string()).collect();
+                write!(f, "Term[{}]", parts.join(", "))
+            }
+            Temporal::Loop => write!(f, "Loop"),
+            Temporal::MayLoop => write!(f, "MayLoop"),
+            Temporal::Unknown(inst) => write!(f, "{inst}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnt_logic::{num, var};
+
+    #[test]
+    fn substitution_reaches_measures_and_arguments() {
+        let term = Temporal::Term(vec![var("x")]);
+        let substituted = term.substitute("x", &var("y").add_const(tnt_logic::Rational::from(1)));
+        match substituted {
+            Temporal::Term(measure) => {
+                assert_eq!(measure[0].coeff("y"), tnt_logic::Rational::one())
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let unknown = Temporal::Unknown(PredInstance::new("Upr_foo", vec![var("x"), num(3)]));
+        let substituted = unknown.substitute("x", &num(7));
+        match substituted {
+            Temporal::Unknown(inst) => assert_eq!(inst.args[0], num(7)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn capacities_of_known_predicates() {
+        assert!(Temporal::Term(vec![]).capacity().is_some());
+        assert_eq!(Temporal::Loop.capacity(), Some(Capacity::looping()));
+        assert_eq!(Temporal::MayLoop.capacity(), Some(Capacity::may_loop()));
+        assert!(Temporal::Unknown(PredInstance::new("U", vec![]))
+            .capacity()
+            .is_none());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Temporal::Term(vec![]).to_string(), "Term");
+        assert_eq!(Temporal::Term(vec![var("x")]).to_string(), "Term[x]");
+        assert_eq!(Temporal::Loop.to_string(), "Loop");
+        assert_eq!(
+            Temporal::Unknown(PredInstance::new("Upr_foo", vec![var("x"), var("y")])).to_string(),
+            "Upr_foo(x, y)"
+        );
+    }
+}

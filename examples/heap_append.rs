@@ -1,0 +1,46 @@
+//! The heap-manipulating example of the paper's Fig. 4: `append` over a
+//! null-terminated list segment (terminating, measure `[n]`) and over a circular list
+//! (definitely non-terminating, postcondition strengthened to `false`).
+//!
+//! Run with `cargo run --example heap_append`.
+
+use hiptnt::{analyze_source, CaseStatus, InferOptions};
+
+const APPEND: &str = "\
+data node { node next; }
+pred lseg(root, q, n) == root = q & n = 0
+   or root -> node(p) * lseg(p, q, n - 1);
+pred cll(root, n) == root -> node(p) * lseg(p, root, n - 1);
+lemma lseg(a, b, m) * b -> node(a) == cll(a, m + 1);
+
+void append(node x, node y)
+  requires lseg(x, null, n) & x != null ensures lseg(x, y, n);
+  requires cll(x, n) ensures true;
+{ if (x.next == null) { x.next = y; } else { append(x.next, y); } }";
+
+fn main() {
+    let result = analyze_source(APPEND, &InferOptions::default()).expect("analysis succeeds");
+    let segment = &result.summaries["append#0"];
+    let circular = &result.summaries["append#1"];
+    println!(
+        "append over lseg(x, null, n), x != null:\n{}\n",
+        segment.render()
+    );
+    println!("append over cll(x, n):\n{}\n", circular.render());
+
+    // Scenario 1: terminating, with a measure over the segment length n.
+    assert!(segment
+        .cases
+        .iter()
+        .all(|c| matches!(c.status, CaseStatus::Term(_))));
+    // Scenario 2: definitely non-terminating (the exit is unreachable).
+    assert!(circular
+        .cases
+        .iter()
+        .any(|c| matches!(c.status, CaseStatus::Loop)));
+    println!(
+        "Scenario verdicts: lseg = {}, cll = {}",
+        segment.verdict(),
+        circular.verdict()
+    );
+}

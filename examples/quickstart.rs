@@ -1,0 +1,22 @@
+//! Quick start: infer the termination/non-termination summary of the paper's running
+//! example `foo` (Fig. 1) and print it in the paper's `case { ... }` form.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use hiptnt::{analyze_source, InferOptions};
+
+fn main() {
+    let source = "void foo(int x, int y) { if (x < 0) { return; } else { foo(x + y, y); } }";
+    let result = analyze_source(source, &InferOptions::default()).expect("analysis succeeds");
+    let foo = &result.summaries["foo"];
+    println!("Inferred summary for foo(x, y):\n{}", foo.render());
+    println!("\nVerdict for foo: {}", foo.verdict());
+    println!(
+        "Re-verification of the inferred specification: {}",
+        result.validated
+    );
+    println!(
+        "Solver work: {} iteration(s), {} case split(s), {} ranking synthesis call(s)",
+        result.stats.iterations, result.stats.case_splits, result.stats.ranking_attempts
+    );
+}

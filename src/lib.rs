@@ -1,0 +1,55 @@
+//! # hiptnt
+//!
+//! A from-scratch Rust reproduction of *"Termination and Non-Termination Specification
+//! Inference"* (Le, Qin, Chin — PLDI 2015), the HIPTNT+ system: a modular analysis
+//! that infers, per method, a case-based summary of terminating (`Term [e]`),
+//! definitely non-terminating (`Loop`, with the postcondition strengthened to `false`)
+//! and unknown (`MayLoop`) input scenarios.
+//!
+//! This crate is the façade over the workspace:
+//!
+//! * [`lang`] — the core imperative language, specifications, parser and desugaring;
+//! * [`logic`] — linear integer arithmetic (satisfiability, entailment, projection);
+//! * [`solver`] — exact simplex, Farkas encodings, (lexicographic) ranking synthesis;
+//! * [`heap`] — the separation-logic substrate (`lseg`, `cll`, lemmas, size facts);
+//! * [`verify`] — Hoare-style forward verification producing relational assumptions;
+//! * [`infer`] — the paper's `solve` algorithm and the end-to-end analyzer;
+//! * [`baselines`] — comparison analyzers with the capability profiles of the
+//!   evaluation's other tools;
+//! * [`suite`] — benchmark corpora with ground truth.
+//!
+//! # Quick start
+//!
+//! ```
+//! use hiptnt::{analyze_source, InferOptions};
+//!
+//! let result = analyze_source(
+//!     "void foo(int x, int y) { if (x < 0) { return; } else { foo(x + y, y); } }",
+//!     &InferOptions::default(),
+//! ).unwrap();
+//! println!("{}", result.summaries["foo"].render());
+//! // case {
+//! //   x < 0            -> requires Term     ensures true;
+//! //   x >= 0 && y < 0  -> requires Term[x]  ensures true;
+//! //   x >= 0 && y >= 0 -> requires Loop     ensures false;
+//! // }
+//! assert_eq!(result.summaries["foo"].cases.len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use tnt_baselines as baselines;
+pub use tnt_heap as heap;
+pub use tnt_infer as infer;
+pub use tnt_lang as lang;
+pub use tnt_logic as logic;
+pub use tnt_solver as solver;
+pub use tnt_suite as suite;
+pub use tnt_verify as verify;
+
+pub use tnt_infer::{
+    analyze_program, analyze_source, AnalysisResult, CaseStatus, InferOptions, MethodSummary,
+    Verdict,
+};
+pub use tnt_lang::{frontend, parse_program};

@@ -1,0 +1,47 @@
+//! Integration test: the nested-recursion examples of the paper's Fig. 3.
+
+use hiptnt::{analyze_source, CaseStatus, InferOptions, Verdict};
+
+#[test]
+fn ackermann_needs_its_specification() {
+    let without = analyze_source(
+        "int Ack(int m, int n)
+         { if (m == 0) { return n + 1; }
+           else { if (n == 0) { return Ack(m - 1, 1); }
+                  else { return Ack(m - 1, Ack(m, n - 1)); } } }",
+        &InferOptions::default(),
+    )
+    .unwrap();
+    // Incomplete summary without the output bound (the paper reports MayLoop for
+    // m > 0 ∧ n >= 0); crucially, not unsoundly classified.
+    assert_ne!(without.verdict("Ack"), Verdict::Terminating);
+
+    let with = analyze_source(
+        "int Ack(int m, int n)
+           requires m >= 0 && n >= 0 ensures res >= n + 1;
+         { if (m == 0) { return n + 1; }
+           else { if (n == 0) { return Ack(m - 1, 1); }
+                  else { return Ack(m - 1, Ack(m, n - 1)); } } }",
+        &InferOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(with.verdict("Ack"), Verdict::Terminating);
+    // A lexicographic measure (the paper's [m, n]).
+    assert!(with.summaries["Ack"]
+        .cases
+        .iter()
+        .any(|c| matches!(&c.status, CaseStatus::Term(m) if m.len() >= 2)));
+}
+
+#[test]
+fn mccarthy_91_terminates_with_its_specification() {
+    let result = analyze_source(
+        "int Mc91(int n)
+           requires true ensures n <= 100 && res == 91 || n > 100 && res == n - 10;
+         { if (n > 100) { return n - 10; } else { return Mc91(Mc91(n + 11)); } }",
+        &InferOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(result.verdict("Mc91"), Verdict::Terminating);
+    assert!(result.validated);
+}

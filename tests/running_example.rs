@@ -1,0 +1,65 @@
+//! Integration test: the paper's running example `foo` (Fig. 1 / Sec. 2) end-to-end.
+
+use hiptnt::logic::{entail, num, var, Constraint, Formula};
+use hiptnt::{analyze_source, CaseStatus, InferOptions, Verdict};
+
+const FOO: &str = "void foo(int x, int y) { if (x < 0) { return; } else { foo(x + y, y); } }";
+
+#[test]
+fn foo_summary_matches_the_paper() {
+    let result = analyze_source(FOO, &InferOptions::default()).unwrap();
+    let foo = &result.summaries["foo"];
+    assert_eq!(foo.cases.len(), 3, "three cases as in Sec. 2");
+
+    let x_lt: Formula = Constraint::lt(var("x"), num(0)).into();
+    let term_ranked = Formula::and(vec![
+        Constraint::ge(var("x"), num(0)).into(),
+        Constraint::lt(var("y"), num(0)).into(),
+    ]);
+    let looping = Formula::and(vec![
+        Constraint::ge(var("x"), num(0)).into(),
+        Constraint::ge(var("y"), num(0)).into(),
+    ]);
+
+    for case in &foo.cases {
+        match &case.status {
+            CaseStatus::Term(measure) if measure.is_empty() => {
+                assert!(entail::equivalent(&case.guard, &x_lt), "base case guard");
+            }
+            CaseStatus::Term(measure) => {
+                assert!(entail::equivalent(&case.guard, &term_ranked));
+                // The measure is [x] (possibly scaled); it must mention x positively.
+                assert!(measure[0].coeff("x").is_positive());
+                assert!(case.post_reachable());
+            }
+            CaseStatus::Loop => {
+                assert!(entail::equivalent(&case.guard, &looping));
+                assert!(!case.post_reachable(), "ensures false for the looping case");
+            }
+            CaseStatus::MayLoop => panic!("no MayLoop case expected for foo"),
+        }
+    }
+    assert_eq!(foo.verdict(), Verdict::NonTerminating);
+    assert!(result.validated, "inferred specification re-verifies");
+}
+
+#[test]
+fn foo_case_spec_round_trips_through_the_parser() {
+    // The inferred case specification, written in the paper's syntax, is accepted by
+    // the front-end as a user-supplied specification.
+    let with_spec = r#"
+        void foo(int x, int y)
+          case {
+            x < 0 -> requires Term ensures true;
+            x >= 0 -> case {
+              y < 0 -> requires Term[x] ensures true;
+              y >= 0 -> requires Loop ensures false;
+            };
+          }
+        { if (x < 0) { return; } else { foo(x + y, y); } }
+    "#;
+    let program = hiptnt::parse_program(with_spec).unwrap();
+    let spec = program.methods[0].spec.as_ref().unwrap();
+    assert_eq!(spec.scenarios().len(), 3);
+    assert!(!spec.has_unknown_temporal());
+}

@@ -100,7 +100,12 @@ impl Analyzer for HipTntPlus {
         let answer = match frontend(source) {
             None => Answer::Unknown,
             Some(program) => match analyze_program(&program, &self.options) {
-                Ok(result) => verdict_to_answer(result.program_verdict()),
+                Ok(result) => match result.program_verdict() {
+                    // An inconclusive verdict caused by budget exhaustion is the
+                    // deterministic analogue of the paper's T/O outcome.
+                    Verdict::Unknown if result.stats.budget_exhausted => Answer::Timeout,
+                    verdict => verdict_to_answer(verdict),
+                },
                 Err(_) => Answer::Unknown,
             },
         };
@@ -270,7 +275,7 @@ impl Analyzer for IntegerLoopOnly {
                         callee == &m.name
                             || raw
                                 .method(callee)
-                                .map_or(false, |c| raw.callees(c).contains(&m.name))
+                                .is_some_and(|c| raw.callees(c).contains(&m.name))
                     })
                 });
                 if has_heap || has_recursion {

@@ -147,7 +147,7 @@ fn size_lower_bounds(def: &PredDef) -> Formula {
                     };
                     let diff = Lin::var(param.clone()).sub(arg);
                     // diff must be a non-negative constant.
-                    if !(diff.is_constant() && !diff.constant_term().is_negative()) {
+                    if !diff.is_constant() || diff.constant_term().is_negative() {
                         continue 'params;
                     }
                 }

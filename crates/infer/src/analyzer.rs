@@ -1,6 +1,6 @@
 //! The top-level analyzer: parse → verify → solve → summarise, in one call.
 
-use crate::solve::{solve, validate, SolveOptions, SolveStats};
+use crate::solve::{solve, validate_with_budget, SolveOptions, SolveStats};
 use crate::summary::{summaries, MethodSummary, Verdict};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -24,10 +24,16 @@ pub struct InferOptions {
     pub max_lex_components: usize,
     /// Re-verify the inferred specifications (the paper's re-checking step).
     pub validate: bool,
+    /// Deterministic work budget in simplex pivots (see [`SolveOptions::work_budget`]).
+    pub work_budget: u64,
+    /// Upper bound on the total number of inferred cases
+    /// (see [`SolveOptions::max_total_cases`]).
+    pub max_total_cases: usize,
 }
 
 impl Default for InferOptions {
     fn default() -> Self {
+        let solve_defaults = SolveOptions::default();
         InferOptions {
             max_iterations: 12,
             enable_base_case: true,
@@ -35,6 +41,8 @@ impl Default for InferOptions {
             lexicographic: true,
             max_lex_components: 4,
             validate: true,
+            work_budget: solve_defaults.work_budget,
+            max_total_cases: solve_defaults.max_total_cases,
         }
     }
 }
@@ -47,6 +55,8 @@ impl InferOptions {
             enable_case_split: self.enable_case_split,
             lexicographic: self.lexicographic,
             max_lex_components: self.max_lex_components,
+            work_budget: self.work_budget,
+            max_total_cases: self.max_total_cases,
         }
     }
 }
@@ -96,7 +106,7 @@ impl AnalysisResult {
             return Verdict::Unknown;
         }
         let collected: Vec<Verdict> = verdicts.collect();
-        if collected.iter().any(|v| *v == Verdict::NonTerminating) {
+        if collected.contains(&Verdict::NonTerminating) {
             Verdict::NonTerminating
         } else if collected.iter().all(|v| *v == Verdict::Terminating) {
             Verdict::Terminating
@@ -137,7 +147,7 @@ pub fn analyze_program(
     })?;
     let (theta, stats) = solve(&analysis, &options.solve_options());
     let validated = if options.validate {
-        validate(&analysis, &theta)
+        validate_with_budget(&analysis, &theta, options.work_budget)
     } else {
         true
     };

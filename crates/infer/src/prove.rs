@@ -321,7 +321,7 @@ mod tests {
     #[test]
     fn split_produces_exclusive_exhaustive_partition() {
         let c: Formula = Constraint::ge(var("y"), num(0)).into();
-        let parts = split(&[c.clone()], &Formula::True);
+        let parts = split(std::slice::from_ref(&c), &Formula::True);
         assert_eq!(parts.len(), 2);
         // Exclusive…
         assert!(sat::is_unsat(&parts[0].clone().and2(parts[1].clone())));

@@ -22,6 +22,19 @@ pub struct SolveOptions {
     pub lexicographic: bool,
     /// Maximum number of lexicographic components.
     pub max_lex_components: usize,
+    /// Deterministic work budget, counted in *work units*: simplex pivots plus DNF
+    /// cubes produced (the two super-linear cores of the back-end). When the
+    /// refinement loop has spent more than this, remaining unknown cases are left
+    /// unresolved (they finalize to `MayLoop`) and
+    /// [`SolveStats::budget_exhausted`] is set — the analyzer's equivalent of the
+    /// paper's T/O outcome, counted in solver work rather than wall-clock time so
+    /// results stay reproducible.
+    pub work_budget: u64,
+    /// Upper bound on the total number of cases across all definitions. Abductive
+    /// case splitting stops refining once the store reaches this size, preventing
+    /// the exponential blow-up of repeated splits on programs (e.g. gcd-style
+    /// loops) whose termination argument is outside the affine fragment.
+    pub max_total_cases: usize,
 }
 
 impl Default for SolveOptions {
@@ -32,6 +45,8 @@ impl Default for SolveOptions {
             enable_case_split: true,
             lexicographic: true,
             max_lex_components: 4,
+            work_budget: 20_000,
+            max_total_cases: 64,
         }
     }
 }
@@ -57,6 +72,11 @@ pub struct SolveStats {
     pub ranking_attempts: usize,
     /// Number of non-termination proof attempts.
     pub nonterm_attempts: usize,
+    /// Work units (simplex pivots + DNF cubes) spent by this run.
+    pub work: u64,
+    /// `true` when the run stopped early because [`SolveOptions::work_budget`] or
+    /// [`SolveOptions::max_total_cases`] was exhausted (the deterministic T/O).
+    pub budget_exhausted: bool,
 }
 
 /// Runs the paper's `solve` procedure over the assumptions of a verified program.
@@ -69,6 +89,11 @@ pub fn solve(analysis: &ProgramAnalysis, options: &SolveOptions) -> (Theta, Solv
     // Base-case inference (lines 3–5 of Fig. 6).
     if options.enable_base_case {
         for method in analysis.methods.values() {
+            // The projections below sit in a *strengthening* position: the TRUE-cube
+            // over-approximation `to_dnf` falls back to at its cube cap would wrongly
+            // enlarge the inferred base case. Skip the base case for this method if
+            // any conversion was capped while computing it.
+            let cap_events_before = tnt_logic::dnf::cap_events();
             let vars: BTreeSet<String> = method.vars.iter().cloned().collect();
             // Both operands are pruned *before* the negation below: projections of
             // heap-laden contexts contain many redundant disjuncts whose negation
@@ -100,15 +125,34 @@ pub fn solve(analysis: &ProgramAnalysis, options: &SolveOptions) -> (Theta, Solv
             for cube in tnt_logic::dnf::to_dnf(&remainder) {
                 parts.push((tnt_logic::dnf::from_dnf(&[cube]), None));
             }
+            if tnt_logic::dnf::cap_events() > cap_events_before {
+                stats.budget_exhausted = true;
+                continue;
+            }
             theta.split_case(&method.upr_name, parts);
         }
     }
 
     // Main refinement loop (lines 6–14 of Fig. 6).
     let prove_options = options.prove_options();
+    let work_start = work_units();
+    // The deadline lets synthesis loops inside the solver stop between LP solves,
+    // bounding how far a single prove call can overshoot the budget.
+    let previous_deadline = tnt_solver::simplex::set_work_deadline(
+        tnt_solver::simplex::pivot_work().saturating_add(options.work_budget),
+    );
+    let over_budget = |stats: &mut SolveStats| {
+        stats.work = work_units().wrapping_sub(work_start);
+        stats.work > options.work_budget
+    };
     'outer: for iteration in 0..options.max_iterations {
         stats.iterations = iteration + 1;
         if theta.all_resolved() {
+            break;
+        }
+        let total_cases: usize = theta.definitions().map(|(_, d)| d.cases.len()).sum();
+        if total_cases > options.max_total_cases || over_budget(&mut stats) {
+            stats.budget_exhausted = true;
             break;
         }
         let unresolved = theta.unresolved_pres();
@@ -118,6 +162,10 @@ pub fn solve(analysis: &ProgramAnalysis, options: &SolveOptions) -> (Theta, Solv
 
         let mut progressed = false;
         for scc in graph.sccs.clone() {
+            if over_budget(&mut stats) {
+                stats.budget_exhausted = true;
+                break 'outer;
+            }
             // Skip SCCs that are already fully resolved (can happen after earlier
             // resolutions within this iteration).
             if scc
@@ -136,16 +184,14 @@ pub fn solve(analysis: &ProgramAnalysis, options: &SolveOptions) -> (Theta, Solv
             }
             let all_term =
                 !successors.is_empty() && successors.iter().all(|t| matches!(t, EdgeTarget::Term));
-            if all_term || successors.is_empty() {
-                if all_term {
-                    stats.ranking_attempts += 1;
-                    if let Some(measures) = prove_term(&scc, &graph, &theta, &prove_options) {
-                        for (pre, measure) in measures {
-                            theta.resolve(&pre, CaseState::Term(measure));
-                        }
-                        progressed = true;
-                        continue;
+            if all_term {
+                stats.ranking_attempts += 1;
+                if let Some(measures) = prove_term(&scc, &graph, &theta, &prove_options) {
+                    for (pre, measure) in measures {
+                        theta.resolve(&pre, CaseState::Term(measure));
                     }
+                    progressed = true;
+                    continue;
                 }
             }
             // Non-termination proof (directly, or as the fall-back after a failed
@@ -172,8 +218,9 @@ pub fn solve(analysis: &ProgramAnalysis, options: &SolveOptions) -> (Theta, Solv
                     split_applied = true;
                 }
                 if split_applied {
-                    progressed = true;
-                    // Restart with the refined definitions (line 11 of Fig. 6).
+                    // Restart with the refined definitions (line 11 of Fig. 6); the
+                    // restart re-enters the iteration loop, so `progressed` need not
+                    // be updated here.
                     continue 'outer;
                 }
             }
@@ -182,9 +229,17 @@ pub fn solve(analysis: &ProgramAnalysis, options: &SolveOptions) -> (Theta, Solv
             break;
         }
     }
+    stats.work = work_units().wrapping_sub(work_start);
+    tnt_solver::simplex::set_work_deadline(previous_deadline);
 
     theta.finalize();
     (theta, stats)
+}
+
+/// The deterministic work measure budgeted by [`SolveOptions::work_budget`]:
+/// simplex pivots plus DNF cubes, the two super-linear cores of the back-end.
+fn work_units() -> u64 {
+    tnt_solver::simplex::pivot_work().wrapping_add(tnt_logic::dnf::cube_work())
 }
 
 fn resolved(theta: &Theta, pre: &str) -> bool {
@@ -205,6 +260,27 @@ fn resolved(theta: &Theta, pre: &str) -> bool {
 ///   internal edge of its case (re-checked through the sound Farkas implication);
 /// * every `Loop` case's unreachability obligations hold under the final definitions.
 pub fn validate(analysis: &ProgramAnalysis, theta: &Theta) -> bool {
+    validate_with_budget(analysis, theta, SolveOptions::default().work_budget)
+}
+
+/// [`validate`] with an explicit work budget — callers that raised
+/// [`SolveOptions::work_budget`] for solving should re-verify under the same
+/// budget, or the re-check fails on budget exhaustion alone.
+pub fn validate_with_budget(analysis: &ProgramAnalysis, theta: &Theta, budget: u64) -> bool {
+    // Validation re-runs the provers, so it gets the same deterministic budget as
+    // the solver; exhausting it means the re-check is inconclusive and the store
+    // is conservatively reported as not validated.
+    let previous_deadline = tnt_solver::simplex::set_work_deadline(
+        tnt_solver::simplex::pivot_work().saturating_add(budget),
+    );
+    let result = validate_within_budget(analysis, theta, budget);
+    tnt_solver::simplex::set_work_deadline(previous_deadline);
+    result
+}
+
+fn validate_within_budget(analysis: &ProgramAnalysis, theta: &Theta, budget: u64) -> bool {
+    let work_start = work_units();
+    let over_budget = || work_units().wrapping_sub(work_start) > budget;
     // 1. Guard partitions.
     for (_, def) in theta.definitions() {
         let guards: Vec<Formula> = def.cases.iter().map(|c| c.guard.clone()).collect();
@@ -214,6 +290,9 @@ pub fn validate(analysis: &ProgramAnalysis, theta: &Theta) -> bool {
             }
         }
         for (i, a) in guards.iter().enumerate() {
+            if over_budget() {
+                return false;
+            }
             for b in guards.iter().skip(i + 1) {
                 if tnt_logic::sat::is_sat(&a.clone().and2(b.clone())) {
                     return false;
@@ -235,6 +314,9 @@ pub fn validate(analysis: &ProgramAnalysis, theta: &Theta) -> bool {
     let obligations = specialize_post(analysis, &resolved_theta);
     let options = ProveOptions::default();
     for scc in &graph.sccs {
+        if over_budget() {
+            return false;
+        }
         // Which final states do these nodes map to? The view's case indices coincide
         // with the final definition's case order by construction.
         let states: Vec<CaseState> = scc
@@ -244,11 +326,10 @@ pub fn validate(analysis: &ProgramAnalysis, theta: &Theta) -> bool {
                 Some(theta.definition(root)?.cases.get(index)?.state.clone())
             })
             .collect();
-        if states.iter().any(|s| matches!(s, CaseState::Term(_))) {
-            if prove_term(scc, &graph, &resolved_theta, &options).is_none() {
+        if states.iter().any(|s| matches!(s, CaseState::Term(_)))
+            && prove_term(scc, &graph, &resolved_theta, &options).is_none() {
                 return false;
             }
-        }
         if states.iter().any(|s| matches!(s, CaseState::Loop)) {
             let outcome = prove_nonterm(scc, &obligations, &resolved_theta, &options);
             if !outcome.success {

@@ -162,16 +162,14 @@ impl Expr {
     /// Collects the variables read by the expression into `out`.
     pub fn collect_vars(&self, out: &mut Vec<String>) {
         match self {
-            Expr::Var(v) => {
-                if !out.contains(v) {
+            Expr::Var(v)
+                if !out.contains(v) => {
                     out.push(v.clone());
                 }
-            }
-            Expr::Field(v, _) => {
-                if !out.contains(v) {
+            Expr::Field(v, _)
+                if !out.contains(v) => {
                     out.push(v.clone());
                 }
-            }
             Expr::Unary(_, e) => e.collect_vars(out),
             Expr::Binary(_, a, b) => {
                 a.collect_vars(out);

@@ -294,7 +294,9 @@ impl fmt::Display for Constraint {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::testgen;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
 
     fn n(value: i128) -> Lin {
         Lin::constant(Rational::from(value))
@@ -395,58 +397,45 @@ mod tests {
         assert!(Constraint::ne(Lin::var("x"), n(0)).to_ineqs().is_none());
     }
 
-    fn small_env() -> impl Strategy<Value = BTreeMap<String, i128>> {
-        proptest::collection::btree_map("[xyz]", -30i128..30, 0..3)
-    }
+    const VARS: [&str; 3] = ["x", "y", "z"];
+    const ALL_OPS: [u8; 6] = [0, 1, 2, 3, 4, 5];
 
-    fn small_constraint() -> impl Strategy<Value = Constraint> {
-        (
-            proptest::collection::btree_map("[xyz]", -5i128..5, 0..3),
-            -10i128..10,
-            0usize..6,
-        )
-            .prop_map(|(coeffs, k, op)| {
-                let lhs = Lin::from_terms(
-                    coeffs
-                        .into_iter()
-                        .map(|(v, c)| (v, Rational::from(c)))
-                        .collect::<Vec<_>>(),
-                    Rational::from(k),
-                );
-                match op {
-                    0 => Constraint::ge(lhs, Lin::zero()),
-                    1 => Constraint::le(lhs, Lin::zero()),
-                    2 => Constraint::gt(lhs, Lin::zero()),
-                    3 => Constraint::lt(lhs, Lin::zero()),
-                    4 => Constraint::eq(lhs, Lin::zero()),
-                    _ => Constraint::ne(lhs, Lin::zero()),
-                }
-            })
-    }
-
-    proptest! {
-        #[test]
-        fn prop_negation_flips_truth(c in small_constraint(), env in small_env()) {
+    #[test]
+    fn prop_negation_flips_truth() {
+        let mut rng = SmallRng::seed_from_u64(0xC0501);
+        for _ in 0..512 {
+            let c = testgen::constraint(&mut rng, &VARS, &ALL_OPS);
+            let env = testgen::int_env(&mut rng, &VARS, -30..30);
             let negated = c.negate();
             let holds = c.holds(&env);
             let neg_holds = negated.iter().any(|d| d.holds(&env));
-            prop_assert_eq!(holds, !neg_holds);
+            assert_eq!(holds, !neg_holds, "negation did not flip {c:?} under {env:?}");
         }
+    }
 
-        #[test]
-        fn prop_normalise_preserves_integer_truth(c in small_constraint(), env in small_env()) {
+    #[test]
+    fn prop_normalise_preserves_integer_truth() {
+        let mut rng = SmallRng::seed_from_u64(0xC0502);
+        for _ in 0..512 {
+            let c = testgen::constraint(&mut rng, &VARS, &ALL_OPS);
+            let env = testgen::int_env(&mut rng, &VARS, -30..30);
             match c.normalise() {
-                None => prop_assert!(!c.holds(&env)),
-                Some(norm) => prop_assert_eq!(norm.holds(&env), c.holds(&env)),
+                None => assert!(!c.holds(&env), "{c:?} normalised away but holds"),
+                Some(norm) => assert_eq!(norm.holds(&env), c.holds(&env), "{c:?} vs {norm:?}"),
             }
         }
+    }
 
-        #[test]
-        fn prop_split_ne_is_exclusive_cover(env in small_env(), k in -5i128..5) {
+    #[test]
+    fn prop_split_ne_is_exclusive_cover() {
+        let mut rng = SmallRng::seed_from_u64(0xC0503);
+        for _ in 0..512 {
+            let env = testgen::int_env(&mut rng, &VARS, -30..30);
+            let k = rng.gen_range(-5i128..5);
             let c = Constraint::ne(Lin::var("x"), Lin::constant(Rational::from(k)));
             let [a, b] = c.split_ne().unwrap();
-            prop_assert_eq!(c.holds(&env), a.holds(&env) || b.holds(&env));
-            prop_assert!(!(a.holds(&env) && b.holds(&env)));
+            assert_eq!(c.holds(&env), a.holds(&env) || b.holds(&env));
+            assert!(!(a.holds(&env) && b.holds(&env)));
         }
     }
 }

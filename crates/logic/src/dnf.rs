@@ -93,8 +93,90 @@ fn nnf(formula: &Formula, negated: bool) -> Formula {
 /// disjunction of the cubes' conjunctions. `≠` atoms are split, quantified variables in
 /// positive position are renamed to fresh names.
 pub fn to_dnf(formula: &Formula) -> Vec<Cube> {
+    // The cap-event snapshot must be taken *before* NNF conversion: a negated
+    // quantifier eliminates through `qe` and re-enters `to_dnf` from inside
+    // `to_nnf`, and a cap overflow there already under-approximates the NNF.
+    let capped_before = cap_events();
     let nnf = to_nnf(formula);
-    dnf_of_nnf(&nnf)
+    // Per-conversion cube cap. Conversions nest (a negated quantifier projects and
+    // re-converts), so the remaining allowance is saved and restored around each
+    // top-level entry.
+    let saved = PER_CALL_REMAINING.with(|r| r.replace(CUBE_CAP.with(|c| c.get())));
+    let cubes = dnf_of_nnf(&nnf);
+    PER_CALL_REMAINING.with(|r| r.set(saved));
+    record_cubes(cubes.len() as u64);
+    if cap_events() > capped_before {
+        // The conversion overflowed the cap somewhere inside: the partial cube set
+        // is meaningless, so return the TRUE cube — an over-approximation of the
+        // input formula. Callers checking unsatisfiability (the soundness-critical
+        // direction everywhere in this workspace) become conservative; callers in
+        // weakening positions (transition guards, abduction hints) stay sound.
+        return vec![vec![]];
+    }
+    cubes
+}
+
+thread_local! {
+    static CUBE_WORK: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    static CUBE_CAP: std::cell::Cell<u64> = const { std::cell::Cell::new(50_000) };
+    static PER_CALL_REMAINING: std::cell::Cell<u64> = const { std::cell::Cell::new(u64::MAX) };
+    static CAP_EVENTS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Sets the per-conversion cube cap for this thread and returns the old value.
+///
+/// A single [`to_dnf`] call that would produce more than this many cubes is
+/// abandoned and over-approximated by the TRUE cube (see [`to_dnf`]); the event
+/// is visible through [`cap_events`]. The default (50k cubes) is far above
+/// anything a within-budget analysis produces.
+pub fn set_cube_cap(cap: u64) -> u64 {
+    CUBE_CAP.with(|c| c.replace(cap))
+}
+
+/// Monotone per-thread count of conversions abandoned at the cube cap.
+///
+/// Callers that cannot tolerate the TRUE-cube over-approximation (e.g. the
+/// base-case inference, which uses projections in a strengthening position)
+/// snapshot this counter around a conversion and discard their result if it
+/// moved.
+pub fn cap_events() -> u64 {
+    CAP_EVENTS.with(|c| c.get())
+}
+
+/// Monotone per-thread count of DNF cubes produced since thread start,
+/// including the intermediate cubes of And-distribution products.
+///
+/// The DNF conversion is the exponential core of every satisfiability and
+/// entailment query in this crate, so its cube output is a faithful,
+/// deterministic proxy for formula-manipulation work — the analogue of
+/// `tnt_solver::simplex::pivot_work` for the logic layer. Budgeted callers
+/// snapshot it before a unit of work and compare deltas afterwards.
+pub fn cube_work() -> u64 {
+    CUBE_WORK.with(|w| w.get())
+}
+
+fn record_cubes(count: u64) {
+    CUBE_WORK.with(|w| w.set(w.get().wrapping_add(count)));
+}
+
+/// Deducts `amount` from the current conversion's cube allowance and charges it
+/// to the work counter (intermediate And-products are where the exponential
+/// cost lives, so the budget must see them even when the final cube set is
+/// small). On overflow the cap event is recorded and `false` is returned,
+/// telling the conversion to abandon the product.
+fn consume_allowance(amount: u64) -> bool {
+    record_cubes(amount);
+    PER_CALL_REMAINING.with(|r| {
+        let remaining = r.get();
+        if let Some(left) = remaining.checked_sub(amount) {
+            r.set(left);
+            true
+        } else {
+            r.set(0);
+            CAP_EVENTS.with(|c| c.set(c.get().wrapping_add(1)));
+            false
+        }
+    })
 }
 
 fn dnf_of_nnf(formula: &Formula) -> Vec<Cube> {
@@ -113,7 +195,13 @@ fn dnf_of_nnf(formula: &Formula) -> Vec<Cube> {
             let mut cubes: Vec<Cube> = vec![vec![]];
             for part in parts {
                 let part_cubes = dnf_of_nnf(part);
-                let mut next = Vec::with_capacity(cubes.len() * part_cubes.len().max(1));
+                let product = cubes.len().saturating_mul(part_cubes.len());
+                if !consume_allowance(product as u64) {
+                    // Cap overflow: the result will be discarded by `to_dnf`, so
+                    // any value works — keep it small and truthy.
+                    return vec![vec![]];
+                }
+                let mut next = Vec::with_capacity(product.max(1));
                 for cube in &cubes {
                     for pc in &part_cubes {
                         let mut merged = cube.clone();

@@ -29,8 +29,9 @@ pub fn equivalent(a: &Formula, b: &Formula) -> bool {
 mod tests {
     use super::*;
     use crate::constraint::Constraint;
-    use proptest::prelude::*;
-    use std::collections::BTreeMap;
+    use crate::testgen;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
     use tnt_solver::{Lin, Rational};
 
     fn n(k: i128) -> Lin {
@@ -96,56 +97,33 @@ mod tests {
         assert!(entails(&a, &c));
     }
 
-    fn small_env() -> impl Strategy<Value = BTreeMap<String, i128>> {
-        proptest::collection::btree_map("[xy]", -8i128..8, 2..3)
-    }
+    const VARS: [&str; 2] = ["x", "y"];
+    const OPS: [u8; 3] = [0, 4, 3]; // ≥, =, <
 
-    fn small_formula() -> impl Strategy<Value = Formula> {
-        let atom = (
-            proptest::collection::btree_map("[xy]", -3i128..4, 1..3),
-            -6i128..6,
-            0usize..3,
-        )
-            .prop_map(|(coeffs, k, op)| {
-                let lhs = Lin::from_terms(
-                    coeffs
-                        .into_iter()
-                        .map(|(v, c)| (v, Rational::from(c)))
-                        .collect::<Vec<_>>(),
-                    Rational::from(k),
-                );
-                let c = match op {
-                    0 => Constraint::ge(lhs, Lin::zero()),
-                    1 => Constraint::eq(lhs, Lin::zero()),
-                    _ => Constraint::lt(lhs, Lin::zero()),
-                };
-                Formula::Atom(c)
-            });
-        atom.prop_recursive(2, 8, 3, |inner| {
-            prop_oneof![
-                proptest::collection::vec(inner.clone(), 1..3).prop_map(Formula::and),
-                proptest::collection::vec(inner.clone(), 1..3).prop_map(Formula::or),
-            ]
-        })
-    }
-
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
-
-        /// If entailment is claimed, no concrete assignment may refute it
-        /// (soundness of `entails` on witnesses).
-        #[test]
-        fn prop_entailment_respected_by_models(a in small_formula(), b in small_formula(), env in small_env()) {
+    /// If entailment is claimed, no concrete assignment may refute it
+    /// (soundness of `entails` on witnesses).
+    #[test]
+    fn prop_entailment_respected_by_models() {
+        let mut rng = SmallRng::seed_from_u64(0xE4701);
+        for _ in 0..96 {
+            let a = testgen::formula(&mut rng, &VARS, &OPS, 2, false);
+            let b = testgen::formula(&mut rng, &VARS, &OPS, 2, false);
+            let env = testgen::int_env(&mut rng, &VARS, -8..8);
             if entails(&a, &b) && a.eval(&env, 4) {
-                prop_assert!(b.eval(&env, 4));
+                assert!(b.eval(&env, 4), "{env:?} refutes claimed {a} => {b}");
             }
         }
+    }
 
-        /// Every formula entails itself and anything it is conjoined with entails it.
-        #[test]
-        fn prop_reflexive_and_weakening(a in small_formula(), b in small_formula()) {
-            prop_assert!(entails(&a, &a));
-            prop_assert!(entails(&a.clone().and2(b.clone()), &a));
+    /// Every formula entails itself and anything it is conjoined with entails it.
+    #[test]
+    fn prop_reflexive_and_weakening() {
+        let mut rng = SmallRng::seed_from_u64(0xE4702);
+        for _ in 0..96 {
+            let a = testgen::formula(&mut rng, &VARS, &OPS, 2, false);
+            let b = testgen::formula(&mut rng, &VARS, &OPS, 2, false);
+            assert!(entails(&a, &a));
+            assert!(entails(&a.clone().and2(b.clone()), &a));
         }
     }
 }

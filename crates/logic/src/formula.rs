@@ -318,7 +318,9 @@ impl fmt::Display for Formula {
 mod tests {
     use super::*;
     use crate::constraint::Constraint;
-    use proptest::prelude::*;
+    use crate::testgen;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
     use tnt_solver::Rational;
 
     fn x_ge(k: i128) -> Formula {
@@ -423,59 +425,43 @@ mod tests {
         assert!(s.contains("!("));
     }
 
-    fn small_env() -> impl Strategy<Value = BTreeMap<String, i128>> {
-        proptest::collection::btree_map("[xy]", -10i128..10, 0..3)
-    }
+    const VARS: [&str; 2] = ["x", "y"];
+    const OPS: [u8; 3] = [0, 4, 3]; // ≥, =, <
 
-    fn small_formula() -> impl Strategy<Value = Formula> {
-        let atom = (
-            proptest::collection::btree_map("[xy]", -3i128..3, 0..3),
-            -5i128..5,
-            0usize..3,
-        )
-            .prop_map(|(coeffs, k, op)| {
-                let lhs = Lin::from_terms(
-                    coeffs
-                        .into_iter()
-                        .map(|(v, c)| (v, Rational::from(c)))
-                        .collect::<Vec<_>>(),
-                    Rational::from(k),
-                );
-                let c = match op {
-                    0 => Constraint::ge(lhs, Lin::zero()),
-                    1 => Constraint::eq(lhs, Lin::zero()),
-                    _ => Constraint::lt(lhs, Lin::zero()),
-                };
-                Formula::Atom(c)
-            });
-        atom.prop_recursive(3, 16, 3, |inner| {
-            prop_oneof![
-                proptest::collection::vec(inner.clone(), 1..3).prop_map(Formula::and),
-                proptest::collection::vec(inner.clone(), 1..3).prop_map(Formula::or),
-                inner.prop_map(|f| f.negate()),
-            ]
-        })
-    }
-
-    proptest! {
-        #[test]
-        fn prop_negation_flips_eval(f in small_formula(), env in small_env()) {
-            prop_assert_eq!(f.clone().negate().eval(&env, 3), !f.eval(&env, 3));
+    #[test]
+    fn prop_negation_flips_eval() {
+        let mut rng = SmallRng::seed_from_u64(0xF0301);
+        for _ in 0..256 {
+            let f = testgen::formula(&mut rng, &VARS, &OPS, 3, true);
+            let env = testgen::int_env(&mut rng, &VARS, -10..10);
+            assert_eq!(f.clone().negate().eval(&env, 3), !f.eval(&env, 3), "{f}");
         }
+    }
 
-        #[test]
-        fn prop_implies_truth_table(f in small_formula(), g in small_formula(), env in small_env()) {
+    #[test]
+    fn prop_implies_truth_table() {
+        let mut rng = SmallRng::seed_from_u64(0xF0302);
+        for _ in 0..256 {
+            let f = testgen::formula(&mut rng, &VARS, &OPS, 3, true);
+            let g = testgen::formula(&mut rng, &VARS, &OPS, 3, true);
+            let env = testgen::int_env(&mut rng, &VARS, -10..10);
             let imp = f.clone().implies(g.clone());
-            prop_assert_eq!(imp.eval(&env, 3), !f.eval(&env, 3) || g.eval(&env, 3));
+            assert_eq!(imp.eval(&env, 3), !f.eval(&env, 3) || g.eval(&env, 3));
         }
+    }
 
-        #[test]
-        fn prop_substitute_then_eval(f in small_formula(), env in small_env(), k in -5i128..5) {
+    #[test]
+    fn prop_substitute_then_eval() {
+        let mut rng = SmallRng::seed_from_u64(0xF0303);
+        for _ in 0..256 {
             // f[x := k] under env  ==  f under env[x := k]
+            let f = testgen::formula(&mut rng, &VARS, &OPS, 3, true);
+            let env = testgen::int_env(&mut rng, &VARS, -10..10);
+            let k = rng.gen_range(-5i128..5);
             let substituted = f.substitute("x", &Lin::constant(Rational::from(k)));
             let mut env2 = env.clone();
             env2.insert("x".to_string(), k);
-            prop_assert_eq!(substituted.eval(&env, 3), f.eval(&env2, 3));
+            assert_eq!(substituted.eval(&env, 3), f.eval(&env2, 3), "{f}");
         }
     }
 }

@@ -47,6 +47,8 @@ pub mod formula;
 pub mod qe;
 pub mod sat;
 pub mod simplify;
+#[cfg(test)]
+mod testgen;
 
 pub use constraint::{Constraint, RelOp};
 pub use formula::Formula;

@@ -96,7 +96,7 @@ fn eliminate_var(cube: &Cube, var: &str) -> Cube {
     }
     // Re-classify anything that ended up in the wrong bucket (possible for equalities).
     let (mut fixed_lowers, mut fixed_uppers) = (Vec::new(), Vec::new());
-    for e in lowers.into_iter().chain(uppers.into_iter()) {
+    for e in lowers.into_iter().chain(uppers) {
         let coeff = e.coeff(var);
         if coeff.is_positive() {
             fixed_lowers.push(e);

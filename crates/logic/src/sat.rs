@@ -90,8 +90,9 @@ pub fn is_unsat(formula: &Formula) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use std::collections::BTreeMap;
+    use crate::testgen;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
     use tnt_solver::{Lin, Rational};
 
     fn n(k: i128) -> Lin {
@@ -206,58 +207,32 @@ mod tests {
         }
     }
 
-    fn small_env() -> impl Strategy<Value = BTreeMap<String, i128>> {
-        proptest::collection::btree_map("[xy]", -8i128..8, 2..3)
-    }
+    const VARS: [&str; 2] = ["x", "y"];
+    const OPS: [u8; 4] = [0, 4, 3, 5]; // ≥, =, <, ≠
 
-    fn small_formula() -> impl Strategy<Value = Formula> {
-        let atom = (
-            proptest::collection::btree_map("[xy]", -3i128..4, 1..3),
-            -6i128..6,
-            0usize..4,
-        )
-            .prop_map(|(coeffs, k, op)| {
-                let lhs = Lin::from_terms(
-                    coeffs
-                        .into_iter()
-                        .map(|(v, c)| (v, Rational::from(c)))
-                        .collect::<Vec<_>>(),
-                    Rational::from(k),
-                );
-                let c = match op {
-                    0 => Constraint::ge(lhs, Lin::zero()),
-                    1 => Constraint::eq(lhs, Lin::zero()),
-                    2 => Constraint::lt(lhs, Lin::zero()),
-                    _ => Constraint::ne(lhs, Lin::zero()),
-                };
-                Formula::Atom(c)
-            });
-        atom.prop_recursive(3, 12, 3, |inner| {
-            prop_oneof![
-                proptest::collection::vec(inner.clone(), 1..3).prop_map(Formula::and),
-                proptest::collection::vec(inner.clone(), 1..3).prop_map(Formula::or),
-                inner.prop_map(|f| f.negate()),
-            ]
-        })
-    }
-
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        /// A concrete witness implies satisfiability (no false "unsat" answers).
-        #[test]
-        fn prop_witness_implies_sat(f in small_formula(), env in small_env()) {
+    /// A concrete witness implies satisfiability (no false "unsat" answers).
+    #[test]
+    fn prop_witness_implies_sat() {
+        let mut rng = SmallRng::seed_from_u64(0x5A701);
+        for _ in 0..128 {
+            let f = testgen::formula(&mut rng, &VARS, &OPS, 3, true);
+            let env = testgen::int_env(&mut rng, &VARS, -8..8);
             if f.eval(&env, 4) {
-                prop_assert!(is_sat(&f));
+                assert!(is_sat(&f), "witness {env:?} refutes unsat answer for {f}");
             }
         }
+    }
 
-        /// DNF preserves satisfiability witnesses.
-        #[test]
-        fn prop_dnf_preserves_witness(f in small_formula(), env in small_env()) {
+    /// DNF preserves satisfiability witnesses.
+    #[test]
+    fn prop_dnf_preserves_witness() {
+        let mut rng = SmallRng::seed_from_u64(0x5A702);
+        for _ in 0..128 {
+            let f = testgen::formula(&mut rng, &VARS, &OPS, 3, true);
+            let env = testgen::int_env(&mut rng, &VARS, -8..8);
             let cubes = crate::dnf::to_dnf(&f);
             let dnf_holds = cubes.iter().any(|cube| cube.iter().all(|c| c.holds(&env)));
-            prop_assert_eq!(f.eval(&env, 4), dnf_holds);
+            assert_eq!(f.eval(&env, 4), dnf_holds, "DNF changed truth of {f}");
         }
     }
 }

@@ -84,7 +84,7 @@ fn prune_cube(cube: &Cube) -> Cube {
             .filter(|(i, _)| *i != index)
             .map(|(_, c)| c.clone())
             .collect();
-        let rest_formula = dnf::from_dnf(&[rest.clone()]);
+        let rest_formula = dnf::from_dnf(std::slice::from_ref(&rest));
         if entail::entails(&rest_formula, &Formula::Atom(candidate)) {
             kept = rest;
         } else {
@@ -108,7 +108,7 @@ pub fn prune(formula: &Formula) -> Formula {
     // Drop unsatisfiable cubes and prune the rest.
     let mut live: Vec<Cube> = cubes
         .into_iter()
-        .filter(|c| sat::cube_sat(c))
+        .filter(sat::cube_sat)
         .map(|c| prune_cube(&c))
         .collect();
     if live.is_empty() {
@@ -121,8 +121,8 @@ pub fn prune(formula: &Formula) -> Formula {
         let subsumed = live.iter().enumerate().any(|(j, other)| {
             j != index
                 && (j < index || live[j].len() <= live[index].len())
-                && entail::entails(&this, &dnf::from_dnf(&[other.clone()]))
-                && !(j > index && entail::entails(&dnf::from_dnf(&[other.clone()]), &this))
+                && entail::entails(&this, &dnf::from_dnf(std::slice::from_ref(other)))
+                && !(j > index && entail::entails(&dnf::from_dnf(std::slice::from_ref(other)), &this))
         });
         if subsumed {
             live.remove(index);

@@ -1,0 +1,73 @@
+//! Shared random-value generators for this crate's property tests.
+//!
+//! The property tests run bounded randomised loops over a deterministic
+//! [`SmallRng`] seed (the offline stand-in for `proptest`, which is not
+//! available in this build environment): every failure is reproducible from
+//! the seed embedded in the test.
+
+use crate::constraint::Constraint;
+use crate::formula::Formula;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::collections::BTreeMap;
+use tnt_solver::{Lin, Rational};
+
+/// A random affine expression over a subset of `vars`.
+pub fn lin(rng: &mut SmallRng, vars: &[&str], coeff: std::ops::Range<i128>) -> Lin {
+    let mut terms = Vec::new();
+    for v in vars {
+        if rng.gen_bool(0.6) {
+            terms.push((v.to_string(), Rational::from(rng.gen_range(coeff.clone()))));
+        }
+    }
+    Lin::from_terms(terms, Rational::from(rng.gen_range(coeff)))
+}
+
+/// A random integer environment assigning every variable in `vars`.
+pub fn int_env(
+    rng: &mut SmallRng,
+    vars: &[&str],
+    range: std::ops::Range<i128>,
+) -> BTreeMap<String, i128> {
+    vars.iter()
+        .map(|v| (v.to_string(), rng.gen_range(range.clone())))
+        .collect()
+}
+
+/// A random atomic constraint `lhs op 0` with `op` drawn from `ops` operator
+/// codes (0 = `≥`, 1 = `≤`, 2 = `>`, 3 = `<`, 4 = `=`, 5 = `≠`).
+pub fn constraint(rng: &mut SmallRng, vars: &[&str], ops: &[u8]) -> Constraint {
+    let lhs = lin(rng, vars, -5..6);
+    match ops[rng.gen_range(0..ops.len())] {
+        0 => Constraint::ge(lhs, Lin::zero()),
+        1 => Constraint::le(lhs, Lin::zero()),
+        2 => Constraint::gt(lhs, Lin::zero()),
+        3 => Constraint::lt(lhs, Lin::zero()),
+        4 => Constraint::eq(lhs, Lin::zero()),
+        _ => Constraint::ne(lhs, Lin::zero()),
+    }
+}
+
+/// A random quantifier-free formula of the given depth over `vars`, with atoms
+/// drawn from the `ops` operator codes (see [`constraint`]); `negations`
+/// controls whether negation nodes are generated.
+pub fn formula(
+    rng: &mut SmallRng,
+    vars: &[&str],
+    ops: &[u8],
+    depth: u32,
+    negations: bool,
+) -> Formula {
+    if depth == 0 || rng.gen_bool(0.3) {
+        return Formula::Atom(constraint(rng, vars, ops));
+    }
+    let arity = rng.gen_range(1usize..3);
+    let parts: Vec<Formula> = (0..arity)
+        .map(|_| formula(rng, vars, ops, depth - 1, negations))
+        .collect();
+    match rng.gen_range(0u32..if negations { 3 } else { 2 }) {
+        0 => Formula::and(parts),
+        1 => Formula::or(parts),
+        _ => formula(rng, vars, ops, depth - 1, negations).negate(),
+    }
+}

@@ -51,17 +51,12 @@ pub fn synthesize_lexicographic(
     let mut components: Vec<BTreeMap<NodeId, Lin>> = Vec::new();
 
     while !remaining.is_empty() {
-        if components.len() >= max_components {
+        if components.len() >= max_components || crate::simplex::deadline_exceeded() {
             return None;
         }
-        let mut chosen: Option<BTreeMap<NodeId, Lin>> = None;
-        for strict_index in 0..remaining.len() {
-            if let Some(measure) = problem.synthesize_component(&remaining, strict_index) {
-                chosen = Some(measure);
-                break;
-            }
-        }
-        let measure = chosen?;
+        // One LP finds a component that is bounded and non-increasing on every
+        // remaining transition and strict on as many as possible at once.
+        let measure = problem.synthesize_component(&remaining)?;
         // Remove every transition on which this component strictly decreases (and is
         // bounded); at least one such transition exists by construction, but we verify
         // via the sound Farkas check to stay conservative.

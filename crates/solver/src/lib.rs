@@ -50,6 +50,8 @@
 
 pub mod farkas;
 pub mod lexicographic;
+#[cfg(test)]
+mod testgen;
 pub mod linear;
 pub mod lp;
 pub mod ranking;

@@ -69,7 +69,7 @@ impl Lin {
             .coeffs
             .entry(var.to_string())
             .or_insert_with(Rational::zero);
-        *entry = *entry + coeff;
+        *entry += coeff;
         if entry.is_zero() {
             self.coeffs.remove(var);
         }
@@ -103,7 +103,7 @@ impl Lin {
     /// Pointwise sum of two expressions.
     pub fn add(&self, other: &Lin) -> Lin {
         let mut out = self.clone();
-        out.constant = out.constant + other.constant;
+        out.constant += other.constant;
         for (v, c) in other.coeffs.iter() {
             out.add_term(v, *c);
         }
@@ -118,7 +118,7 @@ impl Lin {
     /// Adds a constant to the expression.
     pub fn add_const(&self, value: Rational) -> Lin {
         let mut out = self.clone();
-        out.constant = out.constant + value;
+        out.constant += value;
         out
     }
 
@@ -159,7 +159,7 @@ impl Lin {
         let mut total = self.constant;
         for (v, c) in self.coeffs.iter() {
             let value = assignment.get(v).copied().unwrap_or_else(Rational::zero);
-            total = total + *c * value;
+            total += *c * value;
         }
         total
     }
@@ -270,7 +270,9 @@ impl fmt::Display for Ineq {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::testgen;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
 
     #[test]
     fn build_and_query() {
@@ -369,46 +371,42 @@ mod tests {
         assert_eq!(Lin::zero().to_string(), "0");
     }
 
-    fn small_lin() -> impl Strategy<Value = Lin> {
-        (
-            proptest::collection::btree_map("[a-d]", -20i128..20, 0..4),
-            -20i128..20,
-        )
-            .prop_map(|(coeffs, k)| {
-                Lin::from_terms(
-                    coeffs
-                        .into_iter()
-                        .map(|(v, c)| (v, Rational::from(c)))
-                        .collect::<Vec<_>>(),
-                    Rational::from(k),
-                )
-            })
+    const VARS: [&str; 4] = ["a", "b", "c", "d"];
+
+    #[test]
+    fn prop_add_is_pointwise() {
+        let mut rng = SmallRng::seed_from_u64(0x11AE01);
+        for _ in 0..256 {
+            let a = testgen::lin(&mut rng, &VARS, -20..20);
+            let b = testgen::lin(&mut rng, &VARS, -20..20);
+            let env = testgen::env(&mut rng, &VARS, -20..20);
+            assert_eq!(a.add(&b).eval(&env), a.eval(&env) + b.eval(&env));
+        }
     }
 
-    fn small_env() -> impl Strategy<Value = BTreeMap<String, Rational>> {
-        proptest::collection::btree_map("[a-d]", -20i128..20, 0..4)
-            .prop_map(|m| m.into_iter().map(|(v, c)| (v, Rational::from(c))).collect())
+    #[test]
+    fn prop_scale_is_pointwise() {
+        let mut rng = SmallRng::seed_from_u64(0x11AE02);
+        for _ in 0..256 {
+            let a = testgen::lin(&mut rng, &VARS, -20..20);
+            let k = Rational::from(rng.gen_range(-10i128..10));
+            let env = testgen::env(&mut rng, &VARS, -20..20);
+            assert_eq!(a.scale(k).eval(&env), a.eval(&env) * k);
+        }
     }
 
-    proptest! {
-        #[test]
-        fn prop_add_is_pointwise(a in small_lin(), b in small_lin(), env in small_env()) {
-            prop_assert_eq!(a.add(&b).eval(&env), a.eval(&env) + b.eval(&env));
-        }
-
-        #[test]
-        fn prop_scale_is_pointwise(a in small_lin(), k in -10i128..10, env in small_env()) {
-            let k = Rational::from(k);
-            prop_assert_eq!(a.scale(k).eval(&env), a.eval(&env) * k);
-        }
-
-        #[test]
-        fn prop_substitute_respects_eval(a in small_lin(), b in small_lin(), env in small_env()) {
+    #[test]
+    fn prop_substitute_respects_eval() {
+        let mut rng = SmallRng::seed_from_u64(0x11AE03);
+        for _ in 0..256 {
             // a[x := b] evaluated under env equals a evaluated under env[x := eval(b)].
+            let a = testgen::lin(&mut rng, &VARS, -20..20);
+            let b = testgen::lin(&mut rng, &VARS, -20..20);
+            let env = testgen::env(&mut rng, &VARS, -20..20);
             let substituted = a.substitute("a", &b).eval(&env);
             let mut env2 = env.clone();
             env2.insert("a".to_string(), b.eval(&env));
-            prop_assert_eq!(substituted, a.eval(&env2));
+            assert_eq!(substituted, a.eval(&env2));
         }
     }
 }

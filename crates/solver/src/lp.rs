@@ -180,10 +180,10 @@ impl LpProblem {
             let mut coeffs = vec![Rational::zero(); num_cols];
             for (v, c) in lin.terms() {
                 match slots[v] {
-                    Slot::Single(i) => coeffs[i] = coeffs[i] + c,
+                    Slot::Single(i) => coeffs[i] += c,
                     Slot::Split(p, n) => {
-                        coeffs[p] = coeffs[p] + c;
-                        coeffs[n] = coeffs[n] - c;
+                        coeffs[p] += c;
+                        coeffs[n] -= c;
                     }
                 }
             }

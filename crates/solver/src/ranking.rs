@@ -13,7 +13,7 @@
 
 use crate::farkas::{encode_implication, MultiplierSource, TemplateLin};
 use crate::linear::{Ineq, Lin};
-use crate::lp::LpProblem;
+use crate::lp::{Cmp, Direction, LpProblem};
 use crate::rational::Rational;
 use std::collections::BTreeMap;
 
@@ -190,28 +190,66 @@ impl RankingProblem {
     }
 
     /// Attempts to find a single *quasi*-ranking component for the given subset of
-    /// transitions: bounded and non-increasing on all of them, strictly decreasing on
-    /// the transition at `strict_index`.
+    /// transitions: bounded and non-increasing on all of them, and strictly decreasing
+    /// on as many as the LP can manage at once (the Alias–Darte–Feautrier–Gonnord
+    /// scheme). One ε-slack per transition is added to the decrease condition
+    /// (`r_src - r_dst ≥ ε`, `0 ≤ ε ≤ 1`) and `Σ ε` is maximised, so a single LP
+    /// solve replaces the per-strict-transition enumeration.
+    ///
+    /// Returns `None` when no component is strict on any transition. The returned
+    /// measure is rescaled so every transition with a positive ε decreases by ≥ 1
+    /// (templates are closed under uniform positive scaling, so this preserves
+    /// boundedness and non-increase everywhere else).
     pub(crate) fn synthesize_component(
         &self,
         transitions: &[&Transition],
-        strict_index: usize,
     ) -> Option<BTreeMap<NodeId, Lin>> {
         let mut lp = LpProblem::new();
         let mut multipliers = MultiplierSource::new();
-        self.encode(&mut lp, &mut multipliers, transitions, |i| {
-            i == strict_index
-        });
+        let mut eps_names = Vec::with_capacity(transitions.len());
+        for (index, transition) in transitions.iter().enumerate() {
+            let src_template = self.template_for(transition.src);
+            let dst_template = self.dst_template(transition);
+            // bounded:  r_src(v) >= 0
+            encode_implication(&mut lp, &mut multipliers, &transition.guard, &src_template);
+            // decrease: r_src(v) - r_dst(v') - eps_i >= 0, 0 <= eps_i <= 1.
+            let eps = format!("eps${index}");
+            let mut decrease = src_template.sub(&dst_template);
+            decrease.set_constant(decrease.constant_part().sub(&Lin::var(eps.clone())));
+            encode_implication(&mut lp, &mut multipliers, &transition.guard, &decrease);
+            // encode_implication declares conclusion parameters free, so the sign
+            // restriction must be stated as explicit constraints.
+            lp.constrain(Lin::var(eps.clone()), Cmp::Ge, Lin::zero());
+            lp.constrain(Lin::var(eps.clone()), Cmp::Le, Lin::constant(Rational::one()));
+            eps_names.push(eps);
+        }
+        let mut objective = Lin::zero();
+        for eps in &eps_names {
+            objective.add_term(eps, Rational::one());
+        }
+        lp.set_objective(objective, Direction::Maximise);
         let solution = lp.solve();
         if !solution.is_feasible() {
             return None;
         }
+        // Smallest positive ε determines the uniform scale factor.
+        let mut min_positive: Option<Rational> = None;
+        for eps in &eps_names {
+            let value = solution.value(eps);
+            if value.is_positive() && min_positive.is_none_or(|m| value < m) {
+                min_positive = Some(value);
+            }
+        }
+        let scale = min_positive?.recip();
         let params = solution.values;
         Some(
             (0..self.nodes.len())
                 .map(|i| {
                     let node = NodeId(i);
-                    (node, self.template_for(node).instantiate(&params))
+                    (
+                        node,
+                        self.template_for(node).instantiate(&params).scale(scale),
+                    )
                 })
                 .collect(),
         )

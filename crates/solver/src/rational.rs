@@ -283,7 +283,8 @@ impl fmt::Display for Rational {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
 
     #[test]
     fn normalisation() {
@@ -350,46 +351,127 @@ mod tests {
         assert_eq!(Rational::from(-7).to_string(), "-7");
     }
 
-    fn small_rational() -> impl Strategy<Value = Rational> {
-        (-1000i128..1000, 1i128..100).prop_map(|(n, d)| Rational::new(n, d))
+    fn small_rational(rng: &mut SmallRng) -> Rational {
+        Rational::new(rng.gen_range(-1000i128..1000), rng.gen_range(1i128..100))
     }
 
-    proptest! {
-        #[test]
-        fn prop_add_commutative(a in small_rational(), b in small_rational()) {
-            prop_assert_eq!(a + b, b + a);
-        }
+    /// Draws from the full `i64` line (including the exact extremes with some
+    /// probability) as an integer rational, plus moderate denominators.
+    fn extreme_rational(rng: &mut SmallRng) -> Rational {
+        let num = match rng.gen_range(0u32..8) {
+            0 => i64::MAX,
+            1 => i64::MIN,
+            2 => i64::MAX - 1,
+            3 => i64::MIN + 1,
+            _ => rng.gen_range(i64::MIN..=i64::MAX),
+        };
+        let den = match rng.gen_range(0u32..4) {
+            0 => 1,
+            _ => rng.gen_range(1i128..1000),
+        };
+        Rational::new(num as i128, den)
+    }
 
-        #[test]
-        fn prop_add_associative(a in small_rational(), b in small_rational(), c in small_rational()) {
-            prop_assert_eq!((a + b) + c, a + (b + c));
-        }
+    fn assert_normalised(x: Rational) {
+        assert!(x.denom() > 0, "denominator must stay positive: {x:?}");
+        assert_eq!(
+            super::gcd(x.numer(), x.denom()),
+            if x.is_zero() { x.denom() } else { 1 },
+            "numerator and denominator must stay coprime: {x:?}"
+        );
+    }
 
-        #[test]
-        fn prop_mul_distributes(a in small_rational(), b in small_rational(), c in small_rational()) {
-            prop_assert_eq!(a * (b + c), a * b + a * c);
+    #[test]
+    fn prop_add_commutative_and_associative() {
+        let mut rng = SmallRng::seed_from_u64(0x4A701);
+        for _ in 0..512 {
+            let (a, b, c) = (
+                small_rational(&mut rng),
+                small_rational(&mut rng),
+                small_rational(&mut rng),
+            );
+            assert_eq!(a + b, b + a);
+            assert_eq!((a + b) + c, a + (b + c));
+            assert_normalised(a + b);
         }
+    }
 
-        #[test]
-        fn prop_sub_then_add_roundtrip(a in small_rational(), b in small_rational()) {
-            prop_assert_eq!(a - b + b, a);
+    #[test]
+    fn prop_mul_commutative_associative_distributive() {
+        let mut rng = SmallRng::seed_from_u64(0x4A702);
+        for _ in 0..512 {
+            let (a, b, c) = (
+                small_rational(&mut rng),
+                small_rational(&mut rng),
+                small_rational(&mut rng),
+            );
+            assert_eq!(a * b, b * a);
+            assert_eq!((a * b) * c, a * (b * c));
+            assert_eq!(a * (b + c), a * b + a * c);
+            assert_normalised(a * b);
         }
+    }
 
-        #[test]
-        fn prop_floor_le_value_le_ceil(a in small_rational()) {
-            prop_assert!(Rational::from(a.floor()) <= a);
-            prop_assert!(a <= Rational::from(a.ceil()));
+    #[test]
+    fn prop_sub_then_add_roundtrip() {
+        let mut rng = SmallRng::seed_from_u64(0x4A703);
+        for _ in 0..512 {
+            let (a, b) = (small_rational(&mut rng), small_rational(&mut rng));
+            assert_eq!(a - b + b, a);
         }
+    }
 
-        #[test]
-        fn prop_ordering_consistent_with_sub(a in small_rational(), b in small_rational()) {
-            prop_assert_eq!(a < b, (a - b).is_negative());
+    #[test]
+    fn prop_floor_le_value_le_ceil() {
+        let mut rng = SmallRng::seed_from_u64(0x4A704);
+        for _ in 0..512 {
+            let a = small_rational(&mut rng);
+            assert!(Rational::from(a.floor()) <= a);
+            assert!(a <= Rational::from(a.ceil()));
         }
+    }
 
-        #[test]
-        fn prop_recip_involution(a in small_rational()) {
-            prop_assume!(!a.is_zero());
-            prop_assert_eq!(a.recip().recip(), a);
+    #[test]
+    fn prop_ordering_consistent_with_sub() {
+        let mut rng = SmallRng::seed_from_u64(0x4A705);
+        for _ in 0..512 {
+            let (a, b) = (small_rational(&mut rng), small_rational(&mut rng));
+            assert_eq!(a < b, (a - b).is_negative());
+        }
+    }
+
+    #[test]
+    fn prop_recip_involution() {
+        let mut rng = SmallRng::seed_from_u64(0x4A706);
+        for _ in 0..512 {
+            let a = small_rational(&mut rng);
+            if !a.is_zero() {
+                assert_eq!(a.recip().recip(), a);
+            }
+        }
+    }
+
+    /// The whole `i64` line (including the exact extremes) stays within `i128`
+    /// headroom for every arithmetic operator and comparison — no overflow
+    /// panics, and the laws still hold exactly.
+    #[test]
+    fn prop_no_overflow_on_extreme_i64_inputs() {
+        let mut rng = SmallRng::seed_from_u64(0x4A707);
+        for _ in 0..512 {
+            let (a, b) = (extreme_rational(&mut rng), extreme_rational(&mut rng));
+            let sum = a + b;
+            assert_eq!(sum, b + a);
+            assert_eq!(sum - b, a);
+            let product = a * b;
+            assert_eq!(product, b * a);
+            assert_normalised(sum);
+            assert_normalised(product);
+            assert_eq!(a < b, (a - b).is_negative());
+            assert_eq!(-(-a), a);
+            assert!(Rational::from(a.floor()) <= a && a <= Rational::from(a.ceil()));
+            if !b.is_zero() {
+                assert_eq!((a / b) * b, a);
+            }
         }
     }
 }

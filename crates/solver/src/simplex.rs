@@ -7,6 +7,40 @@
 //! Bland's anti-cycling rule is used throughout, so the method always terminates.
 
 use crate::rational::Rational;
+use std::cell::Cell;
+
+thread_local! {
+    static PIVOT_WORK: Cell<u64> = const { Cell::new(0) };
+    static WORK_DEADLINE: Cell<u64> = const { Cell::new(u64::MAX) };
+}
+
+/// Monotone per-thread count of simplex pivots performed since thread start.
+///
+/// Callers that need a deterministic work budget (the analyzer's "timeout"
+/// emulation — the paper's T/O column counts exhausted budgets, not wall-clock
+/// races) snapshot this before a unit of work and compare deltas afterwards.
+pub fn pivot_work() -> u64 {
+    PIVOT_WORK.with(|w| w.get())
+}
+
+fn record_pivot() {
+    PIVOT_WORK.with(|w| w.set(w.get().wrapping_add(1)));
+}
+
+/// Sets the per-thread work deadline (an absolute [`pivot_work`] value) and
+/// returns the previous one. Long-running synthesis loops such as
+/// [`crate::lexicographic`] stop *between* LP solves once the deadline has
+/// passed; an individual solve always runs to completion, so LP answers are
+/// never truncated.
+pub fn set_work_deadline(deadline: u64) -> u64 {
+    WORK_DEADLINE.with(|d| d.replace(deadline))
+}
+
+/// Returns `true` once [`pivot_work`] has passed the deadline set by
+/// [`set_work_deadline`].
+pub fn deadline_exceeded() -> bool {
+    WORK_DEADLINE.with(|d| PIVOT_WORK.with(|w| w.get()) > d.get())
+}
 
 /// Comparison operator of a standard-form constraint row.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -78,6 +112,7 @@ struct Tableau {
 
 impl Tableau {
     fn pivot(&mut self, row: usize, col: usize) {
+        record_pivot();
         let pivot_value = self.data[row][col];
         debug_assert!(!pivot_value.is_zero());
         let inv = pivot_value.recip();
@@ -93,8 +128,11 @@ impl Tableau {
                 continue;
             }
             for c in 0..=self.num_cols {
+                if self.data[row][c].is_zero() {
+                    continue;
+                }
                 let delta = self.data[row][c] * factor;
-                self.data[r][c] = self.data[r][c] - delta;
+                self.data[r][c] -= delta;
             }
         }
         self.basis[row] = col;
@@ -102,36 +140,46 @@ impl Tableau {
 
     /// Runs simplex iterations minimising `objective` (one coefficient per column).
     /// Returns `None` if unbounded, otherwise the optimal objective value.
+    ///
+    /// The reduced-cost row `z` is maintained incrementally: it is initialised once as
+    /// `z_j = c_j - Σ_i c_{B_i}·T[i][j]` (O(rows·cols)) and thereafter updated with a
+    /// single row operation per pivot (O(cols)), instead of being recomputed from the
+    /// basis on every entering-column scan. The last entry of `z` carries
+    /// `-Σ_i c_{B_i}·rhs_i`, i.e. the negated objective value of the current basis.
     fn minimise(&mut self, objective: &[Rational], allow_artificial: bool) -> Option<Rational> {
+        let mut in_basis = vec![false; self.num_cols];
+        for &basic in &self.basis {
+            in_basis[basic] = true;
+        }
+        // Initial reduced-cost row (rhs slot holds the negated objective value).
+        let mut z: Vec<Rational> = Vec::with_capacity(self.num_cols + 1);
+        z.extend_from_slice(objective);
+        z.push(Rational::zero());
+        for (row, &basic) in self.basis.iter().enumerate() {
+            let cb = objective[basic];
+            if cb.is_zero() {
+                continue;
+            }
+            for (slot, value) in z.iter_mut().zip(&self.data[row]) {
+                if !value.is_zero() {
+                    *slot -= cb * *value;
+                }
+            }
+        }
         loop {
-            // Reduced costs: c_j - Σ_i c_{B_i} * T[i][j].
+            // Bland's entering rule: smallest column index with negative reduced cost.
             let mut entering = None;
             for col in 0..self.num_cols {
-                if !allow_artificial && self.artificial[col] {
+                if (!allow_artificial && self.artificial[col]) || in_basis[col] {
                     continue;
                 }
-                if self.basis.contains(&col) {
-                    continue;
-                }
-                let mut reduced = objective[col];
-                for (row, &basic) in self.basis.iter().enumerate() {
-                    let cb = objective[basic];
-                    if !cb.is_zero() {
-                        reduced = reduced - cb * self.data[row][col];
-                    }
-                }
-                if reduced.is_negative() {
-                    entering = Some(col); // Bland: smallest index first
+                if z[col].is_negative() {
+                    entering = Some(col);
                     break;
                 }
             }
             let Some(col) = entering else {
-                // Optimal: compute objective value from basic solution.
-                let mut value = Rational::zero();
-                for (row, &basic) in self.basis.iter().enumerate() {
-                    value = value + objective[basic] * self.data[row][self.num_cols];
-                }
-                return Some(value);
+                return Some(-z[self.num_cols]);
             };
             // Ratio test with Bland tie-breaking on the basic variable index.
             let mut leaving: Option<(usize, Rational)> = None;
@@ -152,7 +200,21 @@ impl Tableau {
                 }
             }
             match leaving {
-                Some((row, _)) => self.pivot(row, col),
+                Some((row, _)) => {
+                    in_basis[self.basis[row]] = false;
+                    in_basis[col] = true;
+                    self.pivot(row, col);
+                    // Eliminate the entering column from the reduced-cost row with the
+                    // same row operation pivot() applied to every other row.
+                    let factor = z[col];
+                    if !factor.is_zero() {
+                        for (slot, value) in z.iter_mut().zip(&self.data[row]) {
+                            if !value.is_zero() {
+                                *slot -= *value * factor;
+                            }
+                        }
+                    }
+                }
                 None => return None, // unbounded
             }
         }
@@ -482,5 +544,109 @@ mod tests {
             objective: vec![r(0), r(0)],
         };
         assert!(solve(&program).is_infeasible());
+    }
+
+    mod properties {
+        use super::super::*;
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+
+        fn r(n: i128) -> Rational {
+            Rational::from(n)
+        }
+
+        fn random_program(rng: &mut SmallRng) -> StandardForm {
+            let num_vars = rng.gen_range(1usize..4);
+            let num_rows = rng.gen_range(1usize..5);
+            let rows = (0..num_rows)
+                .map(|_| {
+                    let coeffs = (0..num_vars).map(|_| r(rng.gen_range(-5i128..6))).collect();
+                    let op = match rng.gen_range(0u32..3) {
+                        0 => RowOp::Le,
+                        1 => RowOp::Ge,
+                        _ => RowOp::Eq,
+                    };
+                    (coeffs, op, r(rng.gen_range(-10i128..11)))
+                })
+                .collect();
+            let objective = (0..num_vars).map(|_| r(rng.gen_range(-3i128..4))).collect();
+            StandardForm {
+                num_vars,
+                rows,
+                objective,
+            }
+        }
+
+        fn satisfies(program: &StandardForm, solution: &[Rational]) -> bool {
+            solution.iter().all(|x| *x >= Rational::zero())
+                && program.rows.iter().all(|(coeffs, op, rhs)| {
+                    let lhs = coeffs
+                        .iter()
+                        .zip(solution)
+                        .fold(Rational::zero(), |acc, (c, x)| acc + *c * *x);
+                    match op {
+                        RowOp::Le => lhs <= *rhs,
+                        RowOp::Ge => lhs >= *rhs,
+                        RowOp::Eq => lhs == *rhs,
+                    }
+                })
+        }
+
+        /// Any solution the simplex reports (optimal or the feasible witness of
+        /// an unbounded program) must actually satisfy every constraint row and
+        /// the non-negativity restriction, and an optimal objective value must
+        /// match the returned point.
+        #[test]
+        fn prop_feasible_answers_satisfy_the_constraints() {
+            let mut rng = SmallRng::seed_from_u64(0x514D01);
+            let mut feasible = 0;
+            for _ in 0..600 {
+                let program = random_program(&mut rng);
+                match solve(&program) {
+                    SimplexOutcome::Infeasible => {}
+                    SimplexOutcome::Unbounded { solution } => {
+                        assert!(
+                            satisfies(&program, &solution),
+                            "unbounded witness violates constraints: {program:?} {solution:?}"
+                        );
+                        feasible += 1;
+                    }
+                    SimplexOutcome::Optimal {
+                        objective,
+                        solution,
+                    } => {
+                        assert!(
+                            satisfies(&program, &solution),
+                            "optimal point violates constraints: {program:?} {solution:?}"
+                        );
+                        let value = program
+                            .objective
+                            .iter()
+                            .zip(&solution)
+                            .fold(Rational::zero(), |acc, (c, x)| acc + *c * *x);
+                        assert_eq!(value, objective, "objective mismatch: {program:?}");
+                        feasible += 1;
+                    }
+                }
+            }
+            assert!(feasible > 100, "generator produced too few feasible programs");
+        }
+
+        /// The all-zero point satisfying the constraints implies the program is
+        /// never reported infeasible (no false `Infeasible` answers).
+        #[test]
+        fn prop_zero_witness_refutes_infeasibility() {
+            let mut rng = SmallRng::seed_from_u64(0x514D02);
+            for _ in 0..600 {
+                let program = random_program(&mut rng);
+                let zero = vec![Rational::zero(); program.num_vars];
+                if satisfies(&program, &zero) {
+                    assert!(
+                        !solve(&program).is_infeasible(),
+                        "zero point satisfies but reported infeasible: {program:?}"
+                    );
+                }
+            }
+        }
     }
 }

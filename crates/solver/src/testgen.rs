@@ -1,0 +1,34 @@
+//! Shared random-value generators for this crate's property tests.
+//!
+//! The property tests run bounded randomised loops over a deterministic
+//! [`SmallRng`] seed (the offline stand-in for `proptest`, which is not
+//! available in this build environment): every failure is reproducible from
+//! the seed embedded in the test.
+
+use crate::linear::Lin;
+use crate::rational::Rational;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// A random affine expression over a subset of `vars`.
+pub fn lin(rng: &mut SmallRng, vars: &[&str], coeff: std::ops::Range<i128>) -> Lin {
+    let mut terms = Vec::new();
+    for v in vars {
+        if rng.gen_bool(0.6) {
+            terms.push((v.to_string(), Rational::from(rng.gen_range(coeff.clone()))));
+        }
+    }
+    Lin::from_terms(terms, Rational::from(rng.gen_range(coeff)))
+}
+
+/// A random rational-valued environment over `vars`.
+pub fn env(
+    rng: &mut SmallRng,
+    vars: &[&str],
+    range: std::ops::Range<i128>,
+) -> BTreeMap<String, Rational> {
+    vars.iter()
+        .map(|v| (v.to_string(), Rational::from(rng.gen_range(range.clone()))))
+        .collect()
+}

@@ -27,10 +27,12 @@
 #![warn(missing_docs)]
 
 pub mod corpora;
+pub mod runner;
 pub mod templates;
 
 pub use corpora::{
     crafted, crafted_lit, integer_loops, memory_alloca, numeric, svcomp_suites, Category, Expected,
     Suite,
 };
+pub use runner::{run_program, run_suite, run_suite_with, Outcome, ProgramReport, SuiteReport};
 pub use templates::BenchProgram;

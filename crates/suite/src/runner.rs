@@ -1,0 +1,317 @@
+//! The corpus conformance runner: feeds every program of a suite through the
+//! full inference pipeline and scores each verdict against the corpus ground
+//! truth.
+//!
+//! This is the executable form of the paper's central soundness claim — the
+//! re-verification of Sec. 6 "found no false positives or negatives" — turned
+//! into a regression gate: a sound analyzer never answers *terminating* on a
+//! ground-truth non-terminating program nor *non-terminating* on a terminating
+//! one, no matter how imprecise it is allowed to be. Precision (how many
+//! definite answers are produced) is tracked separately so the conformance
+//! tests can pin per-suite floors that keep the reproduction competitive with
+//! the paper's Fig. 10/11 numbers without ever trading soundness for them.
+//!
+//! Programs are analysed in parallel (the analysis is single-threaded and
+//! deterministic per program, so a parallel run produces byte-identical
+//! reports).
+
+use crate::corpora::Suite;
+use crate::templates::Expected;
+use std::fmt;
+use tnt_infer::{analyze_source, InferOptions, Verdict};
+
+/// The scored outcome of analysing one benchmark program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Termination proven ("Y").
+    Yes,
+    /// Non-termination proven ("N").
+    No,
+    /// Inconclusive ("U").
+    Unknown,
+    /// The deterministic work budget was exhausted ("T/O").
+    Timeout,
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Yes => write!(f, "Y"),
+            Outcome::No => write!(f, "N"),
+            Outcome::Unknown => write!(f, "U"),
+            Outcome::Timeout => write!(f, "T/O"),
+        }
+    }
+}
+
+/// The record of one program's run.
+#[derive(Clone, Debug)]
+pub struct ProgramReport {
+    /// Program name (unique within its suite).
+    pub name: String,
+    /// Ground truth from the corpus.
+    pub expected: Expected,
+    /// The analyzer's outcome.
+    pub outcome: Outcome,
+    /// Wall-clock seconds spent on this program.
+    pub elapsed: f64,
+    /// Deterministic work units spent (simplex pivots + DNF cubes).
+    pub work: u64,
+}
+
+impl ProgramReport {
+    /// `true` when the outcome contradicts the ground truth — the soundness
+    /// violation the paper's re-verification rules out.
+    pub fn is_unsound(&self) -> bool {
+        matches!(
+            (self.outcome, self.expected),
+            (Outcome::Yes, Expected::NonTerminating) | (Outcome::No, Expected::Terminating)
+        )
+    }
+
+    /// `true` when the outcome is the definite answer matching the ground truth.
+    pub fn is_correct_definite(&self) -> bool {
+        matches!(
+            (self.outcome, self.expected),
+            (Outcome::Yes, Expected::Terminating) | (Outcome::No, Expected::NonTerminating)
+        )
+    }
+}
+
+/// The scored result of running one whole suite.
+#[derive(Clone, Debug)]
+pub struct SuiteReport {
+    /// The suite's display name (the paper's table header).
+    pub suite: String,
+    /// Per-program records, in corpus order.
+    pub programs: Vec<ProgramReport>,
+}
+
+impl SuiteReport {
+    /// Number of programs run.
+    pub fn total(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// The programs whose outcome contradicts the ground truth (must be empty
+    /// for a sound analyzer).
+    pub fn unsound(&self) -> Vec<&ProgramReport> {
+        self.programs.iter().filter(|p| p.is_unsound()).collect()
+    }
+
+    /// Number of correct definite answers (`Y` on terminating, `N` on
+    /// non-terminating).
+    pub fn correct_definite(&self) -> usize {
+        self.programs
+            .iter()
+            .filter(|p| p.is_correct_definite())
+            .count()
+    }
+
+    /// Fraction of programs with a correct definite answer, in `[0, 1]`.
+    pub fn precision(&self) -> f64 {
+        if self.programs.is_empty() {
+            return 1.0;
+        }
+        self.correct_definite() as f64 / self.programs.len() as f64
+    }
+
+    /// Outcome counts `(yes, no, unknown, timeout)` — one Fig. 10/11 cell group.
+    pub fn counts(&self) -> (usize, usize, usize, usize) {
+        let mut counts = (0, 0, 0, 0);
+        for p in &self.programs {
+            match p.outcome {
+                Outcome::Yes => counts.0 += 1,
+                Outcome::No => counts.1 += 1,
+                Outcome::Unknown => counts.2 += 1,
+                Outcome::Timeout => counts.3 += 1,
+            }
+        }
+        counts
+    }
+
+    /// Renders the report as one row of the paper's `Y N U T/O` table format.
+    pub fn render_row(&self) -> String {
+        let (yes, no, unknown, timeout) = self.counts();
+        format!(
+            "{:<16} total={:<4} Y={:<4} N={:<4} U={:<4} T/O={:<4} precision={:.2} unsound={}",
+            self.suite,
+            self.total(),
+            yes,
+            no,
+            unknown,
+            timeout,
+            self.precision(),
+            self.unsound().len()
+        )
+    }
+}
+
+/// Analyses one program source and scores it against its ground truth.
+pub fn run_program(
+    name: &str,
+    source: &str,
+    expected: Expected,
+    options: &InferOptions,
+) -> ProgramReport {
+    let start = std::time::Instant::now();
+    let (outcome, work) = match analyze_source(source, options) {
+        Err(_) => (Outcome::Unknown, 0),
+        Ok(result) => {
+            let outcome = match result.program_verdict() {
+                Verdict::Terminating => Outcome::Yes,
+                Verdict::NonTerminating => Outcome::No,
+                Verdict::Unknown if result.stats.budget_exhausted => Outcome::Timeout,
+                Verdict::Unknown => Outcome::Unknown,
+            };
+            (outcome, result.stats.work)
+        }
+    };
+    ProgramReport {
+        name: name.to_string(),
+        expected,
+        outcome,
+        elapsed: start.elapsed().as_secs_f64(),
+        work,
+    }
+}
+
+/// Runs a whole suite through the analyzer, in parallel across programs.
+///
+/// The report lists programs in corpus order regardless of scheduling, and the
+/// analysis itself is deterministic per program, so two runs of the same suite
+/// produce identical reports.
+pub fn run_suite(suite: &Suite, options: &InferOptions) -> SuiteReport {
+    run_suite_with(suite, options, default_workers())
+}
+
+/// [`run_suite`] with an explicit worker count (`1` forces a sequential run).
+pub fn run_suite_with(suite: &Suite, options: &InferOptions, workers: usize) -> SuiteReport {
+    let workers = workers.max(1);
+    let mut programs: Vec<Option<ProgramReport>> = vec![None; suite.programs.len()];
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots = std::sync::Mutex::new(&mut programs);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(program) = suite.programs.get(index) else {
+                    return;
+                };
+                let report =
+                    run_program(&program.name, &program.source, program.expected, options);
+                slots.lock().expect("no panics hold the lock")[index] = Some(report);
+            });
+        }
+    });
+    SuiteReport {
+        suite: suite.category.name().to_string(),
+        programs: programs
+            .into_iter()
+            .map(|p| p.expect("every index was processed"))
+            .collect(),
+    }
+}
+
+/// Renders every method summary inferred for every program of a suite, keyed by
+/// `program/method`. Used by the determinism regression test: two runs with the
+/// same corpus seed must produce byte-identical renderings.
+pub fn rendered_summaries(suite: &Suite, options: &InferOptions) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for program in &suite.programs {
+        if let Ok(result) = analyze_source(&program.source, options) {
+            for (label, summary) in &result.summaries {
+                out.push((format!("{}/{}", program.name, label), summary.render()));
+            }
+        }
+    }
+    out
+}
+
+fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpora::Category;
+
+    fn tiny_suite() -> Suite {
+        Suite {
+            category: Category::Crafted,
+            programs: vec![
+                crate::templates::countdown("t_down", 1),
+                crate::templates::diverging_counter("n_up", 0, 1),
+                crate::templates::nondet_loop("u_nondet"),
+            ],
+        }
+    }
+
+    #[test]
+    fn runner_scores_against_ground_truth() {
+        let report = run_suite_with(&tiny_suite(), &InferOptions::default(), 2);
+        assert_eq!(report.total(), 3);
+        assert!(report.unsound().is_empty());
+        let by_name: std::collections::BTreeMap<&str, Outcome> = report
+            .programs
+            .iter()
+            .map(|p| (p.name.as_str(), p.outcome))
+            .collect();
+        assert_eq!(by_name["t_down"], Outcome::Yes);
+        assert_eq!(by_name["n_up"], Outcome::No);
+        assert_eq!(by_name["u_nondet"], Outcome::Unknown);
+    }
+
+    #[test]
+    fn parallel_and_sequential_reports_agree() {
+        let suite = tiny_suite();
+        let options = InferOptions::default();
+        let sequential = run_suite_with(&suite, &options, 1);
+        let parallel = run_suite_with(&suite, &options, 4);
+        for (a, b) in sequential.programs.iter().zip(&parallel.programs) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.outcome, b.outcome);
+            assert_eq!(a.work, b.work);
+        }
+    }
+
+    #[test]
+    fn unsoundness_is_detected_by_the_scorer() {
+        let report = ProgramReport {
+            name: "x".into(),
+            expected: Expected::NonTerminating,
+            outcome: Outcome::Yes,
+            elapsed: 0.0,
+            work: 0,
+        };
+        assert!(report.is_unsound());
+        assert!(!report.is_correct_definite());
+    }
+
+    #[test]
+    fn precision_counts_only_correct_definites() {
+        let mk = |expected, outcome| ProgramReport {
+            name: "p".into(),
+            expected,
+            outcome,
+            elapsed: 0.0,
+            work: 0,
+        };
+        let report = SuiteReport {
+            suite: "mini".into(),
+            programs: vec![
+                mk(Expected::Terminating, Outcome::Yes),
+                mk(Expected::Terminating, Outcome::Unknown),
+                mk(Expected::NonTerminating, Outcome::No),
+                mk(Expected::NonTerminating, Outcome::Timeout),
+            ],
+        };
+        assert_eq!(report.correct_definite(), 2);
+        assert!((report.precision() - 0.5).abs() < 1e-9);
+        let (yes, no, unknown, timeout) = report.counts();
+        assert_eq!((yes, no, unknown, timeout), (1, 1, 1, 1));
+    }
+}

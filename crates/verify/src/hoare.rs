@@ -490,7 +490,7 @@ impl Exec<'_> {
                 &antecedent,
                 same_scc,
             ) {
-                return result.into_iter().map(|(s, v)| (s, v)).collect();
+                return result.into_iter().collect();
             }
         }
 

@@ -160,7 +160,8 @@ impl fmt::Display for Capacity {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
 
     #[test]
     fn subtraction_operators_match_paper() {
@@ -227,23 +228,33 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn prop_residue_is_valid_capacity(a in 0u64..50, b in 0u64..50) {
+    #[test]
+    fn prop_residue_is_valid_capacity() {
+        let mut rng = SmallRng::seed_from_u64(0x2E501);
+        for _ in 0..512 {
+            let a = rng.gen_range(0u64..50);
+            let b = rng.gen_range(0u64..50);
             let big = Capacity::term(a.max(b));
             let small = Capacity::term(a.min(b));
             let residue = big.consume(&small).unwrap();
-            prop_assert!(residue.is_valid());
-            prop_assert_eq!(residue.upper, ExtNat::Fin(a.max(b) - a.min(b)));
+            assert!(residue.is_valid());
+            assert_eq!(residue.upper, ExtNat::Fin(a.max(b) - a.min(b)));
         }
+    }
 
-        #[test]
-        fn prop_subsumption_is_reflexive_and_transitive(l in 0u64..20, u in 0u64..20) {
-            prop_assume!(l <= u);
+    #[test]
+    fn prop_subsumption_is_reflexive_and_widening_absorbs() {
+        let mut rng = SmallRng::seed_from_u64(0x2E502);
+        for _ in 0..512 {
+            let l = rng.gen_range(0u64..20);
+            let u = rng.gen_range(0u64..20);
+            if l > u {
+                continue;
+            }
             let c = Capacity::new(ExtNat::Fin(l), ExtNat::Fin(u));
-            prop_assert!(c.subsumes(&c));
+            assert!(c.subsumes(&c));
             let widened = Capacity::new(ExtNat::Fin(0), ExtNat::Inf);
-            prop_assert!(widened.subsumes(&c));
+            assert!(widened.subsumes(&c));
         }
     }
 }

@@ -1,0 +1,40 @@
+//! Prints the full conformance table: every corpus program analysed and scored
+//! against ground truth, one row per suite in the paper's `Y N U T/O` format.
+//!
+//! ```sh
+//! cargo run --release --example conformance_report
+//! ```
+
+use hiptnt::suite::{integer_loops, runner, svcomp_suites};
+use hiptnt::InferOptions;
+use std::time::Instant;
+
+fn main() {
+    let options = InferOptions::default();
+    let start = Instant::now();
+    let mut total_unsound = 0;
+    for suite in svcomp_suites().into_iter().chain([integer_loops()]) {
+        let suite_start = Instant::now();
+        let report = runner::run_suite(&suite, &options);
+        println!(
+            "{}  ({:.0}s)",
+            report.render_row(),
+            suite_start.elapsed().as_secs_f64()
+        );
+        for program in report.unsound() {
+            total_unsound += 1;
+            println!(
+                "  UNSOUND: {} expected {} got {}",
+                program.name, program.expected, program.outcome
+            );
+        }
+    }
+    println!(
+        "total wall-clock {:.0}s, unsound answers {}",
+        start.elapsed().as_secs_f64(),
+        total_unsound
+    );
+    if total_unsound > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,3 +1,5 @@
+#![allow(clippy::disallowed_names)] // `foo` is the paper's running example name
+
 //! Quick start: infer the termination/non-termination summary of the paper's running
 //! example `foo` (Fig. 1) and print it in the paper's `case { ... }` form.
 //!

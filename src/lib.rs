@@ -16,7 +16,36 @@
 //! * [`infer`] — the paper's `solve` algorithm and the end-to-end analyzer;
 //! * [`baselines`] — comparison analyzers with the capability profiles of the
 //!   evaluation's other tools;
-//! * [`suite`] — benchmark corpora with ground truth.
+//! * [`suite`] — benchmark corpora with ground truth, and the conformance
+//!   runner that scores the analyzer against them.
+//!
+//! # Workspace layout
+//!
+//! ```text
+//! Cargo.toml             workspace root + this façade crate
+//! crates/
+//!   lang/      tnt-lang       lexer, parser, AST, type-check, desugar, specs
+//!   logic/     tnt-logic      formulas, DNF, satisfiability, entailment, QE
+//!   solver/    tnt-solver     rationals, exact simplex, Farkas, ranking synthesis
+//!   heap/      tnt-heap       separation-logic predicates, entailment, invariants
+//!   verify/    tnt-verify     Hoare-style forward verification, assumptions
+//!   infer/     tnt-infer      the solve algorithm, case summaries, analyzer
+//!   baselines/ tnt-baselines  capability profiles of the paper's comparison tools
+//!   suite/     tnt-suite      five benchmark corpora + conformance runner
+//!   bench/     tnt-bench      table harness, bin targets, criterion benches
+//! third_party/             offline stand-ins for rand/serde/serde_json/criterion
+//! tests/                   end-to-end gates (conformance, differential, soundness)
+//! ```
+//!
+//! The evaluation tables and benchmarks are reproduced by the `tnt-bench`
+//! binaries:
+//!
+//! ```sh
+//! cargo run --release -p tnt-bench --bin fig10     # Fig. 10 (+ --json)
+//! cargo run --release -p tnt-bench --bin fig11     # Fig. 11 (+ --json)
+//! cargo run --release -p tnt-bench --bin ablation  # feature ablation
+//! cargo bench -p tnt-bench                         # micro benchmarks
+//! ```
 //!
 //! # Quick start
 //!

@@ -1,0 +1,153 @@
+//! Offline API-compatible subset of `serde`.
+//!
+//! Exposes a [`Serialize`] trait whose single method writes compact JSON
+//! into a string buffer, plus the `#[derive(Serialize)]` re-export. This is
+//! the entire surface the workspace consumes (`tnt-bench` derives
+//! `Serialize` on its table types and renders them via `serde_json`).
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::Serialize;
+
+/// A type that can be written out as JSON.
+///
+/// Unlike real serde there is no `Serializer` abstraction: the only backend
+/// in-tree is JSON, so the trait writes it directly.
+pub trait Serialize {
+    /// Appends this value's compact JSON encoding to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+fn push_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! impl_serialize_display {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+impl_serialize_display!(i8, i16, i32, i64, i128, u8, u16, u32, u64, u128, isize, usize, bool);
+
+impl Serialize for f64 {
+    fn serialize_json(&self, out: &mut String) {
+        if self.is_finite() {
+            out.push_str(&self.to_string());
+        } else {
+            out.push_str("null");
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_json(&self, out: &mut String) {
+        (*self as f64).serialize_json(out);
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        push_json_string(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        push_json_string(self, out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$idx.serialize_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+    )*};
+}
+impl_serialize_tuple! {
+    (A:0)
+    (A:0, B:1)
+    (A:0, B:1, C:2)
+    (A:0, B:1, C:2, D:3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Serialize;
+
+    #[test]
+    fn primitives_and_containers() {
+        let mut out = String::new();
+        (vec![("a".to_string(), vec![1usize, 2])],).serialize_json(&mut out);
+        assert_eq!(out, r#"[[["a",[1,2]]]]"#);
+    }
+
+    #[test]
+    fn string_escaping() {
+        let mut out = String::new();
+        "a\"b\\c\nd".serialize_json(&mut out);
+        assert_eq!(out, r#""a\"b\\c\nd""#);
+    }
+}

@@ -1,0 +1,120 @@
+//! Offline `#[derive(Serialize)]` for the serde subset.
+//!
+//! Supports non-generic structs with named fields — the only shape the
+//! workspace derives on. Parsing is done directly over the token stream
+//! (no `syn`/`quote`, which are unavailable offline).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the JSON-writing subset trait).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(ts) => ts,
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn expand(input: TokenStream) -> Result<TokenStream, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`) and visibility/keywords until `struct`.
+    let name = loop {
+        match tokens.get(i) {
+            None => return Err("derive(Serialize): no struct found".into()),
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                match tokens.get(i + 1) {
+                    Some(TokenTree::Ident(name)) => break name.to_string(),
+                    _ => return Err("derive(Serialize): struct has no name".into()),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                return Err("derive(Serialize) subset: enums are not supported".into());
+            }
+            _ => i += 1,
+        }
+    };
+
+    // Reject generics: the token right after the name must be the body.
+    let body = match tokens.get(i + 2) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err("derive(Serialize) subset: generic structs are not supported".into());
+        }
+        _ => {
+            return Err(
+                "derive(Serialize) subset: only structs with named fields are supported".into(),
+            );
+        }
+    };
+
+    let fields = parse_named_fields(body)?;
+    let mut writes = String::new();
+    for (idx, field) in fields.iter().enumerate() {
+        if idx > 0 {
+            writes.push_str("out.push(',');");
+        }
+        writes.push_str(&format!(
+            "out.push_str(\"\\\"{field}\\\":\"); \
+             ::serde::Serialize::serialize_json(&self.{field}, out);"
+        ));
+    }
+
+    let imp = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_json(&self, out: &mut ::std::string::String) {{\n\
+                 out.push('{{'); {writes} out.push('}}');\n\
+             }}\n\
+         }}"
+    );
+    imp.parse()
+        .map_err(|e| format!("derive(Serialize): generated code failed to parse: {e:?}"))
+}
+
+/// Extracts field names from the brace body of a named-field struct.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut angle_depth: i32 = 0;
+    let mut at_field_start = true;
+    let mut pending: Option<String> = None;
+    let mut iter = body.into_iter().peekable();
+
+    while let Some(tt) = iter.next() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '#' && at_field_start => {
+                // Skip the attribute group that follows `#`.
+                iter.next();
+            }
+            TokenTree::Ident(id) if at_field_start => {
+                let s = id.to_string();
+                if s == "pub" {
+                    // May be followed by `pub(crate)`-style scope group.
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                } else {
+                    pending = Some(s);
+                    at_field_start = false;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ':' && angle_depth == 0 => {
+                if let Some(name) = pending.take() {
+                    fields.push(name);
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                at_field_start = true;
+            }
+            _ => {}
+        }
+    }
+    if fields.is_empty() {
+        return Err("derive(Serialize) subset: struct has no named fields".into());
+    }
+    Ok(fields)
+}

@@ -1,0 +1,111 @@
+//! Offline `serde_json` subset: `to_string` / `to_string_pretty` over the
+//! JSON-writing [`serde::Serialize`] trait.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// Serialization error. The JSON-writing subset is infallible, so this is
+/// never produced; it exists so call sites keep real-serde signatures.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json subset error (unreachable)")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes a value to compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Serializes a value to pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let compact = to_string(value)?;
+    Ok(prettify(&compact))
+}
+
+/// Re-indents a compact JSON document. Assumes valid JSON input (which
+/// `to_string` guarantees).
+fn prettify(json: &str) -> String {
+    let mut out = String::with_capacity(json.len() * 2);
+    let mut indent = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut chars = json.chars().peekable();
+
+    while let Some(c) = chars.next() {
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                out.push(c);
+                if chars.peek() == Some(&'}') || chars.peek() == Some(&']') {
+                    // Keep empty containers on one line.
+                    out.push(chars.next().unwrap());
+                } else {
+                    indent += 1;
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent));
+                }
+            }
+            '}' | ']' => {
+                indent = indent.saturating_sub(1);
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+            }
+            ':' => {
+                out.push(c);
+                out.push(' ');
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_round_trip_shape() {
+        let v = vec![("k".to_string(), vec![1usize, 2])];
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        let squashed: String = pretty.chars().filter(|c| !c.is_whitespace()).collect();
+        assert_eq!(squashed, to_string(&v).unwrap());
+    }
+
+    #[test]
+    fn strings_with_structural_chars_survive_prettify() {
+        let s = "a{b},c:[d]";
+        let pretty = to_string_pretty(&s).unwrap();
+        assert_eq!(pretty, "\"a{b},c:[d]\"");
+    }
+}

@@ -1,5 +1,8 @@
 //! Ablation study over the design choices of the inference engine:
-//! abductive case splitting, semantic base-case inference and lexicographic measures.
+//! abductive case splitting, semantic base-case inference, lexicographic measures
+//! and the multiphase/max ranking domain.
+//!
+//! With `--json` the table is emitted as JSON only (the CI smoke test contract).
 
 use tnt_baselines::{Analyzer, HipTntPlus};
 use tnt_bench::Table;
@@ -26,6 +29,12 @@ fn main() {
             ..InferOptions::default()
         },
     };
+    let no_multiphase = HipTntPlus {
+        options: InferOptions {
+            multiphase: false,
+            ..InferOptions::default()
+        },
+    };
     struct Named<'a>(&'static str, &'a HipTntPlus);
     impl Analyzer for Named<'_> {
         fn name(&self) -> &'static str {
@@ -39,10 +48,18 @@ fn main() {
     let no_split = Named("no case-split", &no_split);
     let no_base = Named("no base-case", &no_base);
     let no_lex = Named("no lexicographic", &no_lex);
-    let tools: Vec<&dyn Analyzer> = vec![&full, &no_split, &no_base, &no_lex];
+    let no_multiphase = Named("no multiphase/max", &no_multiphase);
+    let tools: Vec<&dyn Analyzer> = vec![&full, &no_split, &no_base, &no_lex, &no_multiphase];
     let table = Table::build(&tools, &suites);
-    println!(
-        "{}",
-        table.render("Ablation: feature switches of the inference engine")
-    );
+    if std::env::args().any(|a| a == "--json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&table).expect("serialisable")
+        );
+    } else {
+        println!(
+            "{}",
+            table.render("Ablation: feature switches of the inference engine")
+        );
+    }
 }

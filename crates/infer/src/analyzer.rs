@@ -22,6 +22,10 @@ pub struct InferOptions {
     pub lexicographic: bool,
     /// Maximum number of lexicographic components.
     pub max_lex_components: usize,
+    /// The multiphase/max ranking domain (see [`SolveOptions::multiphase`]).
+    pub multiphase: bool,
+    /// Maximum depth of a nested multiphase tuple.
+    pub max_phases: usize,
     /// Re-verify the inferred specifications (the paper's re-checking step).
     pub validate: bool,
     /// Deterministic work budget in simplex pivots (see [`SolveOptions::work_budget`]).
@@ -40,6 +44,8 @@ impl Default for InferOptions {
             enable_case_split: true,
             lexicographic: true,
             max_lex_components: 4,
+            multiphase: true,
+            max_phases: 3,
             validate: true,
             work_budget: solve_defaults.work_budget,
             max_total_cases: solve_defaults.max_total_cases,
@@ -55,6 +61,8 @@ impl InferOptions {
             enable_case_split: self.enable_case_split,
             lexicographic: self.lexicographic,
             max_lex_components: self.max_lex_components,
+            multiphase: self.multiphase,
+            max_phases: self.max_phases,
             work_budget: self.work_budget,
             max_total_cases: self.max_total_cases,
         }
@@ -95,39 +103,42 @@ impl AnalysisResult {
     /// The verdict for a given method: combines all of its scenarios
     /// (every scenario terminating → terminating; any definitely non-terminating
     /// scenario → non-terminating; otherwise unknown).
-    pub fn verdict(&self, method: &str) -> Verdict {
-        let mut verdicts = self
+    ///
+    /// Returns `None` when no scenario of that method was analysed at all — a
+    /// method absent from the summary table, as opposed to one the analysis ran on
+    /// but could not classify (`Some(Verdict::Unknown)`).
+    pub fn verdict(&self, method: &str) -> Option<Verdict> {
+        let collected: Vec<Verdict> = self
             .summaries
             .values()
             .filter(|s| s.method == method)
             .map(MethodSummary::verdict)
-            .peekable();
-        if verdicts.peek().is_none() {
-            return Verdict::Unknown;
+            .collect();
+        if collected.is_empty() {
+            return None;
         }
-        let collected: Vec<Verdict> = verdicts.collect();
-        if collected.contains(&Verdict::NonTerminating) {
+        Some(if collected.contains(&Verdict::NonTerminating) {
             Verdict::NonTerminating
         } else if collected.iter().all(|v| *v == Verdict::Terminating) {
             Verdict::Terminating
         } else {
             Verdict::Unknown
-        }
+        })
     }
 
     /// The verdict for the program's entry point (`main` if present, otherwise the
     /// first analysed method), which is how the benchmark harness scores a program.
     pub fn program_verdict(&self) -> Verdict {
-        if self.summaries.values().any(|s| s.method == "main") {
-            return self.verdict("main");
-        }
-        match self.summaries.values().next() {
-            Some(first) => {
-                let name = first.method.clone();
-                self.verdict(&name)
+        let entry = if self.summaries.values().any(|s| s.method == "main") {
+            "main".to_string()
+        } else {
+            match self.summaries.values().next() {
+                Some(first) => first.method.clone(),
+                None => return Verdict::Terminating, // no unknown scenarios at all
             }
-            None => Verdict::Terminating, // no unknown scenarios at all
-        }
+        };
+        self.verdict(&entry)
+            .expect("entry method taken from the summary table")
     }
 }
 
@@ -142,11 +153,15 @@ pub fn analyze_program(
     options: &InferOptions,
 ) -> Result<AnalysisResult, InferError> {
     let start = Instant::now();
+    // Snapshot before verification: the Hoare pass already runs entailment checks
+    // through the same saturating rational arithmetic, and assumptions corrupted
+    // there must poison the final result too.
+    let overflow_before = tnt_solver::rational::overflow_work();
     let analysis = verify_program(program).map_err(|e| InferError {
         message: e.to_string(),
     })?;
-    let (theta, stats) = solve(&analysis, &options.solve_options());
-    let validated = if options.validate {
+    let (theta, mut stats) = solve(&analysis, &options.solve_options());
+    let mut validated = if options.validate {
         validate_with_budget(&analysis, &theta, options.work_budget)
     } else {
         true
@@ -164,6 +179,20 @@ pub fn analyze_program(
             summary.method.clone()
         };
         summary_map.insert(label, summary);
+    }
+    if tnt_solver::rational::overflow_work() != overflow_before {
+        // Some rational operation saturated: every value computed since — guards,
+        // measures, verdicts — is untrustworthy. Degrade the whole result to the
+        // inconclusive budget-exhausted outcome instead of risking an unsound
+        // claim (the deterministic analogue of the paper's T/O on this program).
+        stats.budget_exhausted = true;
+        validated = false;
+        for summary in summary_map.values_mut() {
+            summary.cases = vec![crate::summary::SummaryCase {
+                guard: tnt_logic::Formula::True,
+                status: crate::summary::CaseStatus::MayLoop,
+            }];
+        }
     }
     Ok(AnalysisResult {
         summaries: summary_map,
@@ -198,7 +227,7 @@ mod tests {
         .unwrap();
         let foo = &result.summaries["foo"];
         assert_eq!(foo.cases.len(), 3);
-        assert_eq!(result.verdict("foo"), Verdict::NonTerminating);
+        assert_eq!(result.verdict("foo"), Some(Verdict::NonTerminating));
         assert!(result.validated);
         let rendered = foo.render();
         assert!(rendered.contains("Loop"));
@@ -241,6 +270,42 @@ mod tests {
     }
 
     #[test]
+    fn near_i128_coefficients_degrade_soundly_instead_of_panicking() {
+        // Coefficients close to i128::MAX overflow the exact rational arithmetic
+        // somewhere inside the Farkas/simplex pipeline. The analysis must not
+        // panic; it must answer with the inconclusive budget-exhausted outcome.
+        let huge = i128::MAX / 2 - 7;
+        let near = i128::MAX / 3 - 11;
+        let source = format!(
+            "void main(int x, int y)\n\
+             {{ while (x > {near}) {{ x = x - {huge}; y = y + {near}; }} }}"
+        );
+        let result = analyze_source(&source, &InferOptions::default()).unwrap();
+        if result.stats.budget_exhausted {
+            // Overflow (or budget) poisoned the run: every case must have been
+            // degraded to the inconclusive outcome, never an unsound claim.
+            assert_ne!(result.program_verdict(), Verdict::NonTerminating);
+        }
+        // Determinism: a second run answers identically.
+        let again = analyze_source(&source, &InferOptions::default()).unwrap();
+        assert_eq!(result.program_verdict(), again.program_verdict());
+        assert_eq!(result.stats.budget_exhausted, again.stats.budget_exhausted);
+    }
+
+    #[test]
+    fn verdict_distinguishes_missing_methods_from_unknown_outcomes() {
+        let result = analyze_source(
+            r#"void main(int n) { while (nondet() > 0) { n = n + 1; } }"#,
+            &InferOptions::default(),
+        )
+        .unwrap();
+        // A method the analysis ran on but could not classify is Some(Unknown)…
+        assert_eq!(result.verdict("main"), Some(Verdict::Unknown));
+        // …while a method that was never analysed is None, not Unknown.
+        assert_eq!(result.verdict("no_such_method"), None);
+    }
+
+    #[test]
     fn mc91_with_spec_terminates() {
         let result = analyze_source(
             r#"int Mc91(int n)
@@ -249,7 +314,7 @@ mod tests {
             &InferOptions::default(),
         )
         .unwrap();
-        assert_eq!(result.verdict("Mc91"), Verdict::Terminating);
+        assert_eq!(result.verdict("Mc91"), Some(Verdict::Terminating));
     }
 
     #[test]
@@ -266,7 +331,7 @@ mod tests {
         // Without the res >= n + 1 specification the paper reports MayLoop for the
         // m > 0 ∧ n >= 0 scenario; at minimum the method must not be classified
         // terminating outright, and must not be unsoundly classified Loop everywhere.
-        assert_ne!(result.verdict("Ack"), Verdict::Terminating);
+        assert_ne!(result.verdict("Ack"), Some(Verdict::Terminating));
         assert!(ack
             .cases
             .iter()
@@ -284,7 +349,7 @@ mod tests {
             &InferOptions::default(),
         )
         .unwrap();
-        assert_eq!(result.verdict("Ack"), Verdict::Terminating);
+        assert_eq!(result.verdict("Ack"), Some(Verdict::Terminating));
         let ack = &result.summaries["Ack"];
         // The ranking measure is lexicographic ([m, n] in the paper).
         assert!(ack

@@ -23,9 +23,11 @@
 //! * [`specialize`] — `spec_relass` (Sec. 5.2): the collected assumptions specialised
 //!   against the current definitions, and the temporal reachability graph (Def. 4/5)
 //!   with its SCC condensation.
-//! * [`prove`] — `prove_Term` (Fig. 8, Farkas-based (lexicographic) ranking synthesis
-//!   via [`tnt_solver`]), `prove_NonTerm` (Fig. 9, inductive unreachability) and the
-//!   abductive inference `abd_inf` with the `split` case partitioning (Sec. 5.5–5.6).
+//! * [`prove`] — `prove_Term` (Fig. 8, Farkas-based ranking synthesis via
+//!   [`tnt_solver`] over the linear → lexicographic/max → multiphase fall-back
+//!   chain, plus the entry-restricted conditional termination proof),
+//!   `prove_NonTerm` (Fig. 9, inductive unreachability) and the abductive
+//!   inference `abd_inf` with the `split` case partitioning (Sec. 5.5–5.6).
 //! * [`solve`] — the overall fixed-point loop of Fig. 6 (base-case inference,
 //!   per-SCC analysis, case refinement, `finalize`).
 //! * [`summary`] / [`analyzer`] — user-facing API: analyse a program (or source text)

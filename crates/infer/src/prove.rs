@@ -3,11 +3,12 @@
 
 use crate::specialize::{EdgeTarget, Obligation, ObligationItem, ReachGraph};
 use crate::theta::Theta;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use tnt_logic::{dnf, entail, qe, sat, simplify, Constraint, Formula, Lin, RelOp};
-use tnt_solver::lexicographic::synthesize_lexicographic;
+use tnt_solver::lexicographic::synthesize_lexicographic_mixed;
+use tnt_solver::multiphase::synthesize_multiphase;
 use tnt_solver::ranking::{NodeId, RankingProblem, Transition};
-use tnt_solver::Ineq;
+use tnt_solver::{farkas, Ineq, MeasureItem};
 
 /// Configuration switches of the prover (exposed for the ablation benchmarks).
 #[derive(Clone, Copy, Debug)]
@@ -18,6 +19,12 @@ pub struct ProveOptions {
     pub max_lex_components: usize,
     /// Allow abductive case-splitting when a non-termination proof fails.
     pub enable_case_split: bool,
+    /// Allow the multiphase/max ranking domain: `max(f, g)` component slots inside
+    /// lexicographic tuples, nested multiphase tuples as the last synthesis
+    /// fall-back, and the entry-restricted conditional termination proof.
+    pub multiphase: bool,
+    /// Maximum depth of a nested multiphase tuple.
+    pub max_phases: usize,
 }
 
 impl Default for ProveOptions {
@@ -26,6 +33,8 @@ impl Default for ProveOptions {
             lexicographic: true,
             max_lex_components: 4,
             enable_case_split: true,
+            multiphase: true,
+            max_phases: 3,
         }
     }
 }
@@ -48,14 +57,16 @@ fn guard_cubes(ctx: &Formula) -> Vec<Vec<Ineq>> {
         .collect()
 }
 
-/// `prove_Term`: synthesises one (lexicographic) linear ranking measure per unknown
-/// pre-predicate of the SCC. Returns `None` when synthesis fails.
-pub fn prove_term(
+/// Builds the ranking problem of an SCC: one node per pre-predicate, one transition
+/// per guard cube of every internal edge. Each node's transitions can be
+/// strengthened with extra per-source-node inequalities (the entry-restricted
+/// conditional proof passes its invariant atoms; the plain proof passes none).
+fn ranking_problem(
     scc: &[String],
     graph: &ReachGraph,
     theta: &Theta,
-    options: &ProveOptions,
-) -> Option<BTreeMap<String, Vec<Lin>>> {
+    restriction: &BTreeMap<String, Vec<Ineq>>,
+) -> Option<(RankingProblem, BTreeMap<String, NodeId>)> {
     let mut problem = RankingProblem::new();
     let mut node_of: BTreeMap<String, NodeId> = BTreeMap::new();
     for pre in scc {
@@ -70,6 +81,9 @@ pub fn prove_term(
         let src = node_of[&edge.src];
         let dst_node = node_of[dst];
         for (cube_index, mut cube) in guard_cubes(&edge.ctx).into_iter().enumerate() {
+            if let Some(atoms) = restriction.get(&edge.src) {
+                cube.extend(atoms.iter().cloned());
+            }
             // Bind each destination argument to a synthetic variable name.
             let mut dst_vars = Vec::new();
             for (i, arg) in args.iter().enumerate() {
@@ -80,21 +94,299 @@ pub fn prove_term(
             problem.add_transition(Transition::new(src, dst_node, dst_vars, cube));
         }
     }
-    let measure = if options.lexicographic {
-        synthesize_lexicographic(&problem, options.max_lex_components)?
+    Some((problem, node_of))
+}
+
+/// The synthesis fall-back chain over a built ranking problem:
+/// linear → lexicographic (with `max(f, g)` slots) → nested multiphase.
+fn synthesize_measure(
+    problem: &RankingProblem,
+    options: &ProveOptions,
+) -> Option<BTreeMap<NodeId, Vec<MeasureItem>>> {
+    if options.lexicographic {
+        // The mixed synthesis starts with the single-component (linear) fast path.
+        if let Some(measure) =
+            synthesize_lexicographic_mixed(problem, options.max_lex_components, options.multiphase)
+        {
+            return Some(measure);
+        }
+        if options.multiphase {
+            if let Some(phases) = synthesize_multiphase(problem, options.max_phases) {
+                return Some(
+                    phases
+                        .into_iter()
+                        .map(|(n, tuple)| (n, vec![MeasureItem::Phases(tuple)]))
+                        .collect(),
+                );
+            }
+        }
+        None
     } else {
-        problem
-            .synthesize()?
-            .into_iter()
-            .map(|(n, lin)| (n, vec![lin]))
-            .collect()
-    };
+        Some(
+            problem
+                .synthesize()?
+                .into_iter()
+                .map(|(n, lin)| (n, vec![MeasureItem::Affine(lin)]))
+                .collect(),
+        )
+    }
+}
+
+/// `prove_Term`: synthesises one (lexicographic/multiphase/max) ranking measure per
+/// unknown pre-predicate of the SCC. Returns `None` when synthesis fails.
+pub fn prove_term(
+    scc: &[String],
+    graph: &ReachGraph,
+    theta: &Theta,
+    options: &ProveOptions,
+) -> Option<BTreeMap<String, Vec<MeasureItem>>> {
+    let (problem, node_of) = ranking_problem(scc, graph, theta, &BTreeMap::new())?;
+    let measure = synthesize_measure(&problem, options)?;
     Some(
         node_of
             .into_iter()
             .map(|(pre, node)| (pre, measure[&node].clone()))
             .collect(),
     )
+}
+
+/// One case of a successful entry-restricted conditional termination proof.
+#[derive(Clone, Debug)]
+pub struct ConditionalCase {
+    /// The proven sub-region: the conjunction of the inductive entry atoms.
+    pub region: Formula,
+    /// A feasibility-unchecked, pairwise-disjoint cover of the region's complement
+    /// (decision-tree negation of the atom conjunction); empty when the region is
+    /// the whole case.
+    pub remainder: Vec<Formula>,
+    /// The certified measure, valid on every state reachable inside the region.
+    pub measure: Vec<MeasureItem>,
+}
+
+/// Entry-restricted conditional termination (`prove_Term` on the reachable
+/// sub-region): when an SCC admits no global ranking measure because only *part* of
+/// its state space is reachable from the call sites (e.g. a gcd-style loop entered
+/// with positive arguments only), restrict the transitions to an inductive
+/// invariant implied by every entry context and synthesize the measure there.
+///
+/// The invariant is computed Houdini-style: candidate atoms are the inequalities
+/// implied by every entry region of a node (entry contexts projected onto the
+/// callee's formals), pruned to the greatest inductive subset under the SCC's
+/// internal edges (each check is a sound Farkas implication). A success resolves
+/// each node's case *split on the invariant*: the invariant sub-case is `Term`
+/// with the certified measure, the complement stays unknown.
+///
+/// Soundness: every external entry satisfies its node's atoms by construction,
+/// inductiveness closes the reachable states under internal edges, and the measure
+/// is bounded and decreasing on every restricted transition — so every call chain
+/// starting inside the region terminates, no matter the caller.
+pub fn prove_term_conditional(
+    scc: &[String],
+    graph: &ReachGraph,
+    theta: &Theta,
+    options: &ProveOptions,
+) -> Option<BTreeMap<String, ConditionalCase>> {
+    if !options.multiphase {
+        return None;
+    }
+    let members: BTreeSet<&String> = scc.iter().collect();
+    // 1. Entry regions: contexts of edges entering the SCC from outside, projected
+    //    onto the callee's formal parameters.
+    let mut entries: BTreeMap<String, Vec<Formula>> = BTreeMap::new();
+    for edge in &graph.edges {
+        let EdgeTarget::Unknown { pre, args } = &edge.target else {
+            continue;
+        };
+        if !members.contains(pre) || members.contains(&edge.src) {
+            continue;
+        }
+        let vars = theta.vars_of_pre(pre)?.to_vec();
+        entries
+            .entry(pre.clone())
+            .or_default()
+            .push(entry_region(&edge.ctx, &vars, args));
+    }
+    if entries.is_empty() {
+        return None;
+    }
+    // 2. Candidate invariant atoms per node: inequalities implied by every entry.
+    //    Nodes without external entries carry no atoms (an unrestricted `true`
+    //    invariant), which only weakens the premises below and stays sound.
+    let mut atoms: BTreeMap<String, Vec<Ineq>> =
+        scc.iter().map(|p| (p.clone(), Vec::new())).collect();
+    for (pre, regions) in &entries {
+        atoms.insert(pre.clone(), atoms_implied_by_all(regions));
+    }
+    if atoms.values().all(|a| a.is_empty()) {
+        return None;
+    }
+    // 3. Houdini fixpoint: drop atoms not preserved by some internal edge, until
+    //    the remaining set is inductive (terminates — the atom pool only shrinks).
+    struct InternalEdge {
+        src: String,
+        dst: String,
+        dst_vars: Vec<String>,
+        cubes: Vec<Vec<Ineq>>,
+        args: Vec<Lin>,
+    }
+    let mut edge_data = Vec::new();
+    for edge in graph.internal_edges(scc) {
+        let EdgeTarget::Unknown { pre, args } = &edge.target else {
+            continue;
+        };
+        edge_data.push(InternalEdge {
+            src: edge.src.clone(),
+            dst: pre.clone(),
+            dst_vars: theta.vars_of_pre(pre)?.to_vec(),
+            cubes: guard_cubes(&edge.ctx),
+            args: args.clone(),
+        });
+    }
+    loop {
+        if tnt_solver::simplex::deadline_exceeded() {
+            return None;
+        }
+        let mut changed = false;
+        for edge in &edge_data {
+            let src_atoms = atoms.get(&edge.src).cloned().unwrap_or_default();
+            let current = atoms.get(&edge.dst).cloned().unwrap_or_default();
+            let retained: Vec<Ineq> = current
+                .iter()
+                .filter(|atom| {
+                    let target = instantiate_ineq(atom, &edge.dst_vars, &edge.args);
+                    edge.cubes.iter().all(|cube| {
+                        let mut premises = cube.clone();
+                        premises.extend(src_atoms.iter().cloned());
+                        farkas::implies(&premises, &target)
+                    })
+                })
+                .cloned()
+                .collect();
+            if retained.len() != current.len() {
+                atoms.insert(edge.dst.clone(), retained);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    if atoms.values().all(|a| a.is_empty()) {
+        return None;
+    }
+    // 4. Ranking synthesis on the invariant-restricted transitions, through the
+    //    full fall-back chain (linear → lexicographic/max → multiphase).
+    let (problem, node_of) = ranking_problem(scc, graph, theta, &atoms)?;
+    let measure = synthesize_measure(&problem, options)?;
+    Some(
+        node_of
+            .into_iter()
+            .map(|(pre, node)| {
+                let node_atoms = atoms.remove(&pre).unwrap_or_default();
+                let case = ConditionalCase {
+                    region: region_of(&node_atoms),
+                    remainder: remainder_of(&node_atoms),
+                    measure: measure[&node].clone(),
+                };
+                (pre, case)
+            })
+            .collect(),
+    )
+}
+
+/// The entry region of a call edge: the context conjoined with `formalᵢ = argᵢ`
+/// bindings, projected onto (fresh stand-ins for) the formals.
+fn entry_region(ctx: &Formula, vars: &[String], args: &[Lin]) -> Formula {
+    let temps: Vec<String> = (0..vars.len()).map(|i| format!("$entry{i}")).collect();
+    let mut conj = vec![ctx.clone()];
+    for (temp, arg) in temps.iter().zip(args) {
+        conj.push(Constraint::eq(Lin::var(temp.clone()), arg.clone()).into());
+    }
+    let keep: BTreeSet<String> = temps.iter().cloned().collect();
+    let mut region = qe::project(&Formula::and(conj), &keep);
+    for (temp, var) in temps.iter().zip(vars) {
+        region = region.rename(temp, var);
+    }
+    simplify::prune(&region)
+}
+
+/// Capture-avoiding instantiation of an inequality over `vars` with `args`.
+fn instantiate_ineq(ineq: &Ineq, vars: &[String], args: &[Lin]) -> Ineq {
+    let temps: Vec<String> = (0..vars.len()).map(|i| format!("$atom{i}")).collect();
+    let mut expr = ineq.expr().clone();
+    for (var, temp) in vars.iter().zip(&temps) {
+        expr = expr.rename(var, temp);
+    }
+    for (temp, arg) in temps.iter().zip(args) {
+        expr = expr.substitute(temp, arg);
+    }
+    Ineq::ge_zero(expr)
+}
+
+/// The inequalities every given region entails: harvested from the regions' DNF
+/// cubes and kept only when certified against *every* cube of *every* region.
+fn atoms_implied_by_all(regions: &[Formula]) -> Vec<Ineq> {
+    let cubes_of = |region: &Formula| -> Vec<Vec<Ineq>> {
+        dnf::to_dnf(region)
+            .into_iter()
+            .map(|cube| {
+                cube.iter()
+                    .filter_map(|c| match c.op() {
+                        RelOp::Ne => None,
+                        _ => c.to_ineqs(),
+                    })
+                    .flatten()
+                    .collect()
+            })
+            .collect()
+    };
+    let all_cubes: Vec<Vec<Vec<Ineq>>> = regions.iter().map(cubes_of).collect();
+    let mut pool: Vec<Ineq> = Vec::new();
+    for cubes in &all_cubes {
+        for cube in cubes {
+            for ineq in cube {
+                if !pool.contains(ineq) {
+                    pool.push(ineq.clone());
+                }
+            }
+        }
+    }
+    pool.retain(|atom| {
+        all_cubes
+            .iter()
+            .all(|cubes| cubes.iter().all(|cube| farkas::implies(cube, atom)))
+    });
+    pool
+}
+
+/// The conjunction of invariant atoms as a formula (`true` when empty).
+fn region_of(atoms: &[Ineq]) -> Formula {
+    Formula::and(
+        atoms
+            .iter()
+            .map(|a| Constraint::from_parts(a.expr().clone(), RelOp::Ge).into())
+            .collect(),
+    )
+}
+
+/// A pairwise-disjoint cover of the complement of the atom conjunction:
+/// `¬α₁ ∨ (α₁ ∧ ¬α₂) ∨ … ∨ (α₁ ∧ … ∧ α_{k−1} ∧ ¬α_k)`.
+fn remainder_of(atoms: &[Ineq]) -> Vec<Formula> {
+    (0..atoms.len())
+        .map(|i| {
+            let mut parts: Vec<Formula> = atoms[..i]
+                .iter()
+                .map(|a| Constraint::from_parts(a.expr().clone(), RelOp::Ge).into())
+                .collect();
+            parts.extend(
+                Constraint::from_parts(atoms[i].expr().clone(), RelOp::Ge)
+                    .negate()
+                    .into_iter()
+                    .map(Formula::from),
+            );
+            Formula::and(parts)
+        })
+        .collect()
 }
 
 /// The outcome of a non-termination proof attempt on an SCC.

@@ -1,7 +1,7 @@
 //! The overall inference algorithm `solve` (Fig. 6) and the post-hoc validation of the
 //! inferred definitions.
 
-use crate::prove::{prove_nonterm, prove_term, split, ProveOptions};
+use crate::prove::{prove_nonterm, prove_term, prove_term_conditional, split, ProveOptions};
 use crate::specialize::{specialize_post, specialize_pre, EdgeTarget, ReachGraph};
 use crate::theta::{CaseState, Theta};
 use std::collections::BTreeSet;
@@ -22,6 +22,12 @@ pub struct SolveOptions {
     pub lexicographic: bool,
     /// Maximum number of lexicographic components.
     pub max_lex_components: usize,
+    /// Enable the multiphase/max ranking domain (nested multiphase tuples,
+    /// `max(f, g)` lexicographic components, and entry-restricted conditional
+    /// termination proofs).
+    pub multiphase: bool,
+    /// Maximum depth of a nested multiphase tuple.
+    pub max_phases: usize,
     /// Deterministic work budget, counted in *work units*: simplex pivots plus DNF
     /// cubes produced (the two super-linear cores of the back-end). When the
     /// refinement loop has spent more than this, remaining unknown cases are left
@@ -45,6 +51,8 @@ impl Default for SolveOptions {
             enable_case_split: true,
             lexicographic: true,
             max_lex_components: 4,
+            multiphase: true,
+            max_phases: 3,
             work_budget: 20_000,
             max_total_cases: 64,
         }
@@ -57,6 +65,8 @@ impl SolveOptions {
             lexicographic: self.lexicographic,
             max_lex_components: self.max_lex_components,
             enable_case_split: self.enable_case_split,
+            multiphase: self.multiphase,
+            max_phases: self.max_phases,
         }
     }
 }
@@ -204,6 +214,30 @@ pub fn solve(analysis: &ProgramAnalysis, options: &SolveOptions) -> (Theta, Solv
                 }
                 progressed = true;
                 continue;
+            }
+            // Entry-restricted conditional termination: the SCC may terminate on the
+            // sub-region actually reachable from its call sites even when no global
+            // measure exists (gcd-style loops entered with positive arguments).
+            // Attempted before abductive splitting, which cannot recover call-site
+            // information and tends to fragment such cases until the budget runs out.
+            if all_term {
+                stats.ranking_attempts += 1;
+                if let Some(cases) = prove_term_conditional(&scc, &graph, &theta, &prove_options)
+                {
+                    for (pre, case) in cases {
+                        if case.remainder.is_empty() {
+                            theta.resolve(&pre, CaseState::Term(case.measure));
+                        } else {
+                            let mut parts =
+                                vec![(case.region, Some(CaseState::Term(case.measure)))];
+                            parts.extend(case.remainder.into_iter().map(|f| (f, None)));
+                            theta.split_case(&pre, parts);
+                        }
+                    }
+                    // The graph changed shape: restart the iteration (line 11 of
+                    // Fig. 6), exactly as after an abductive case split.
+                    continue 'outer;
+                }
             }
             if options.enable_case_split && !outcome.splits.is_empty() {
                 let mut split_applied = false;

@@ -3,14 +3,16 @@
 
 use crate::theta::{CaseState, Theta};
 use std::fmt;
-use tnt_logic::{Formula, Lin};
+use tnt_logic::Formula;
+use tnt_solver::MeasureItem;
 use tnt_verify::hoare::ProgramAnalysis;
 
 /// The resolved status of one summary case.
 #[derive(Clone, Debug, PartialEq)]
 pub enum CaseStatus {
-    /// Definite termination with the given lexicographic measure.
-    Term(Vec<Lin>),
+    /// Definite termination with the given lexicographic measure (components may
+    /// be affine, `max(f, g)` or multiphase items).
+    Term(Vec<MeasureItem>),
     /// Definite non-termination (the postcondition is strengthened to `false`).
     Loop,
     /// Unknown outcome.
@@ -208,7 +210,7 @@ mod tests {
             },
             SummaryCase {
                 guard: Constraint::ge(var("x"), num(0)).into(),
-                status: CaseStatus::Term(vec![var("x")]),
+                status: CaseStatus::Term(vec![MeasureItem::Affine(var("x"))]),
             },
         ]);
         let text = s.render();

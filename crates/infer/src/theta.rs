@@ -7,14 +7,16 @@
 //! fresh auxiliary unknown predicates that later refinement rounds will resolve.
 
 use std::collections::BTreeMap;
-use tnt_logic::{sat, simplify, Formula, Lin};
+use tnt_logic::{sat, simplify, Formula};
+use tnt_solver::MeasureItem;
 
 /// The resolved (or still unknown) status of one case of a definition.
 #[derive(Clone, Debug, PartialEq)]
 pub enum CaseState {
-    /// Terminating with the given (possibly empty) lexicographic measure; the
+    /// Terminating with the given (possibly empty) lexicographic measure, whose
+    /// components may be affine, `max(f, g)` or multiphase items; the
     /// corresponding post-predicate is reachable (`true`).
-    Term(Vec<Lin>),
+    Term(Vec<MeasureItem>),
     /// Definitely non-terminating; the post-predicate is unreachable (`false`).
     Loop,
     /// Unknown outcome (assigned by `finalize`); the post-predicate is `true`.
@@ -314,7 +316,7 @@ mod tests {
         theta.register("Upr_f#0", "Upo_f#0", vec!["x".to_string()]);
         assert!(!theta.all_resolved());
         assert_eq!(theta.unresolved_pres(), vec!["Upr_f#0".to_string()]);
-        theta.resolve("Upr_f#0", CaseState::Term(vec![var("x")]));
+        theta.resolve("Upr_f#0", CaseState::Term(vec![MeasureItem::Affine(var("x"))]));
         assert!(theta.all_resolved());
     }
 

@@ -102,6 +102,17 @@ impl TemplateLin {
         self.constant = constant;
     }
 
+    /// Pointwise sum `self + other`.
+    pub fn add(&self, other: &TemplateLin) -> TemplateLin {
+        let mut out = self.clone();
+        for (v, c) in &other.coeffs {
+            let existing = out.coeffs.entry(v.clone()).or_insert_with(Lin::zero);
+            *existing = existing.add(c);
+        }
+        out.constant = out.constant.add(&other.constant);
+        out
+    }
+
     /// Pointwise difference `self - other`.
     pub fn sub(&self, other: &TemplateLin) -> TemplateLin {
         let mut out = self.clone();

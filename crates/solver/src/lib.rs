@@ -19,7 +19,12 @@
 //! * [`ranking`] — synthesis of linear ranking functions for a set of transitions
 //!   (one affine template per graph node, Podelski–Rybalchenko style).
 //! * [`lexicographic`] — synthesis of lexicographic linear ranking functions by the
-//!   standard iterative edge-elimination scheme.
+//!   standard iterative edge-elimination scheme, with optional `max(f, g)` component
+//!   slots for transitions no affine component can eliminate.
+//! * [`multiphase`] — nested multiphase linear ranking functions ⟨f₁, …, f_d⟩
+//!   (each phase decreases once the previous ones are exhausted) and the max-based
+//!   measure domain, both encoded through the same Farkas/simplex machinery and
+//!   re-certified by sound concrete checks before use.
 //!
 //! The crate is independent of the logic front-end: variables are plain strings and
 //! constraints are affine expressions in `≥ 0` normal form ([`linear::Ineq`]).
@@ -54,10 +59,12 @@ pub mod lexicographic;
 mod testgen;
 pub mod linear;
 pub mod lp;
+pub mod multiphase;
 pub mod ranking;
 pub mod rational;
 pub mod simplex;
 
 pub use linear::{Ineq, Lin};
 pub use lp::{LpProblem, LpSolution, LpStatus};
+pub use multiphase::MeasureItem;
 pub use rational::Rational;

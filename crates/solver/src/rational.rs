@@ -3,11 +3,52 @@
 //! The simplex pivoting and Farkas encodings require exact arithmetic; floating point
 //! would make the (non-)termination verdicts unsound. Benchmarks in this reproduction
 //! keep coefficients small, so `i128` numerators/denominators with eager normalisation
-//! are more than sufficient (overflow panics loudly rather than corrupting results).
+//! are more than sufficient.
+//!
+//! # Overflow
+//!
+//! Arithmetic that would overflow `i128` does **not** panic (a single adversarial
+//! large-coefficient program must not abort a whole analysis run). Instead the
+//! operation *saturates* to a sign-correct sentinel and bumps the monotone
+//! per-thread [`overflow_work`] counter. Saturated values are numerically wrong, so
+//! every consumer that could turn them into a verdict must check the counter: the
+//! analyzer snapshots it around each program and degrades the whole result to the
+//! inconclusive budget-exhausted outcome (`MayLoop` / T-O) when it moved — sound,
+//! deterministic, and no worse than the paper's own T/O column.
 
+use std::cell::Cell;
 use std::cmp::Ordering;
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+thread_local! {
+    static OVERFLOW_WORK: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Monotone per-thread count of saturated (overflowed) rational operations.
+///
+/// Callers that must not trust results computed through saturation snapshot this
+/// before a unit of work and compare afterwards, exactly like
+/// [`crate::simplex::pivot_work`].
+pub fn overflow_work() -> u64 {
+    OVERFLOW_WORK.with(|w| w.get())
+}
+
+fn record_overflow() {
+    OVERFLOW_WORK.with(|w| w.set(w.get().wrapping_add(1)));
+}
+
+/// Saturation sentinel: large enough to dominate ordinary coefficients, small
+/// enough that sums and modest scalings of sentinels do not immediately re-overflow.
+const SATURATED: i128 = 1 << 96;
+
+fn saturated(negative: bool) -> Rational {
+    record_overflow();
+    Rational {
+        num: if negative { -SATURATED } else { SATURATED },
+        den: 1,
+    }
+}
 
 /// An exact rational number `num / den` with `den > 0` and `gcd(num, den) = 1`.
 ///
@@ -143,29 +184,26 @@ impl Rational {
     fn checked_add(&self, other: &Self) -> Self {
         let g = gcd(self.den, other.den);
         let lcm_part = other.den / g;
-        let num = self
-            .num
-            .checked_mul(lcm_part)
-            .and_then(|a| other.num.checked_mul(self.den / g).map(|b| (a, b)))
-            .and_then(|(a, b)| a.checked_add(b))
-            .expect("rational addition overflow");
-        let den = self
-            .den
-            .checked_mul(lcm_part)
-            .expect("rational addition overflow");
-        Rational::new(num, den)
+        let exact = (|| {
+            let num = self
+                .num
+                .checked_mul(lcm_part)?
+                .checked_add(other.num.checked_mul(self.den / g)?)?;
+            let den = self.den.checked_mul(lcm_part)?;
+            Some(Rational::new(num, den))
+        })();
+        exact.unwrap_or_else(|| saturated(self.to_f64() + other.to_f64() < 0.0))
     }
 
     fn checked_mul(&self, other: &Self) -> Self {
         let g1 = gcd(self.num, other.den);
         let g2 = gcd(other.num, self.den);
-        let num = (self.num / g1)
-            .checked_mul(other.num / g2)
-            .expect("rational multiplication overflow");
-        let den = (self.den / g2)
-            .checked_mul(other.den / g1)
-            .expect("rational multiplication overflow");
-        Rational::new(num, den)
+        let exact = (|| {
+            let num = (self.num / g1).checked_mul(other.num / g2)?;
+            let den = (self.den / g2).checked_mul(other.den / g1)?;
+            Some(Rational::new(num, den))
+        })();
+        exact.unwrap_or_else(|| saturated((self.num < 0) != (other.num < 0)))
     }
 }
 
@@ -252,15 +290,22 @@ impl PartialOrd for Rational {
 impl Ord for Rational {
     fn cmp(&self, other: &Self) -> Ordering {
         // Compare a/b with c/d by comparing a*d with c*b (b, d > 0).
-        let lhs = self
-            .num
-            .checked_mul(other.den)
-            .expect("rational comparison overflow");
-        let rhs = other
-            .num
-            .checked_mul(self.den)
-            .expect("rational comparison overflow");
-        lhs.cmp(&rhs)
+        match (
+            self.num.checked_mul(other.den),
+            other.num.checked_mul(self.den),
+        ) {
+            (Some(lhs), Some(rhs)) => lhs.cmp(&rhs),
+            // Cross-multiplication overflowed: fall back to a deterministic
+            // approximate order (poisoning the analysis via the overflow counter —
+            // consumers must not base verdicts on it).
+            _ => {
+                record_overflow();
+                self.to_f64()
+                    .partial_cmp(&other.to_f64())
+                    .filter(|o| *o != Ordering::Equal)
+                    .unwrap_or_else(|| (self.num, self.den).cmp(&(other.num, other.den)))
+            }
+        }
     }
 }
 
@@ -349,6 +394,39 @@ mod tests {
     fn display() {
         assert_eq!(Rational::new(3, 4).to_string(), "3/4");
         assert_eq!(Rational::from(-7).to_string(), "-7");
+    }
+
+    #[test]
+    fn overflow_saturates_and_poisons_instead_of_panicking() {
+        let before = overflow_work();
+        let huge = Rational::from(i128::MAX - 1);
+        assert!((huge + huge).is_positive());
+        assert!(((-huge) + (-huge)).is_negative());
+        assert!((huge * huge).is_positive());
+        assert!((huge * (-huge)).is_negative());
+        assert!(
+            overflow_work() >= before + 4,
+            "every saturated operation must be recorded"
+        );
+    }
+
+    #[test]
+    fn near_i128_coefficients_never_panic() {
+        let a = Rational::from(i128::MAX - 1);
+        let b = Rational::new(1, 3);
+        let before = overflow_work();
+        // The cross-multiplied comparison (MAX - 1) * 3 overflows i128; the
+        // approximate fall-back must still order the values correctly.
+        assert_eq!(a.cmp(&b), Ordering::Greater);
+        assert_eq!(b.cmp(&a), Ordering::Less);
+        assert!(overflow_work() > before);
+        // All operators stay total on near-i128 inputs.
+        let _ = a + b;
+        let _ = a - b;
+        let _ = a * b;
+        let _ = a / b;
+        let _ = a.floor();
+        let _ = a.ceil();
     }
 
     fn small_rational(rng: &mut SmallRng) -> Rational {

@@ -347,9 +347,13 @@ pub fn solve(program: &StandardForm) -> SimplexOutcome {
         for &c in &artificial_cols {
             phase1[c] = Rational::one();
         }
-        let value = tableau
-            .minimise(&phase1, true)
-            .expect("phase I objective is bounded below by zero");
+        // Exact arithmetic guarantees the phase I objective is bounded below by
+        // zero; an "unbounded" answer can only come from a saturated (overflowed)
+        // rational corrupting the tableau. The overflow counter has already
+        // poisoned the run, so answer conservatively instead of panicking.
+        let Some(value) = tableau.minimise(&phase1, true) else {
+            return SimplexOutcome::Infeasible;
+        };
         if value.is_positive() {
             return SimplexOutcome::Infeasible;
         }

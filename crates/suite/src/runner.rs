@@ -57,6 +57,9 @@ pub struct ProgramReport {
     pub elapsed: f64,
     /// Deterministic work units spent (simplex pivots + DNF cubes).
     pub work: u64,
+    /// Error note when the analysis failed abnormally (e.g. a caught panic);
+    /// such programs score as [`Outcome::Unknown`] rather than aborting the run.
+    pub note: Option<String>,
 }
 
 impl ProgramReport {
@@ -148,14 +151,17 @@ impl SuiteReport {
 }
 
 /// Analyses one program source and scores it against its ground truth.
+///
+/// A panic inside the analysis is caught and recorded as an [`Outcome::Unknown`]
+/// report with an error [`ProgramReport::note`], so one crashing program cannot
+/// abort a whole suite run.
 pub fn run_program(
     name: &str,
     source: &str,
     expected: Expected,
     options: &InferOptions,
 ) -> ProgramReport {
-    let start = std::time::Instant::now();
-    let (outcome, work) = match analyze_source(source, options) {
+    run_program_with(name, expected, || match analyze_source(source, options) {
         Err(_) => (Outcome::Unknown, 0),
         Ok(result) => {
             let outcome = match result.program_verdict() {
@@ -166,13 +172,38 @@ pub fn run_program(
             };
             (outcome, result.stats.work)
         }
-    };
+    })
+}
+
+/// Renders a caught panic payload as the report's error note.
+fn panic_note(payload: &(dyn std::any::Any + Send)) -> String {
+    let message = payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string());
+    format!("analysis panicked: {message}")
+}
+
+/// Scores one program with a caller-supplied analysis hook, isolating panics.
+pub fn run_program_with(
+    name: &str,
+    expected: Expected,
+    analysis: impl FnOnce() -> (Outcome, u64),
+) -> ProgramReport {
+    let start = std::time::Instant::now();
+    let (outcome, work, note) =
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(analysis)) {
+            Ok((outcome, work)) => (outcome, work, None),
+            Err(payload) => (Outcome::Unknown, 0, Some(panic_note(payload.as_ref()))),
+        };
     ProgramReport {
         name: name.to_string(),
         expected,
         outcome,
         elapsed: start.elapsed().as_secs_f64(),
         work,
+        note,
     }
 }
 
@@ -187,6 +218,21 @@ pub fn run_suite(suite: &Suite, options: &InferOptions) -> SuiteReport {
 
 /// [`run_suite`] with an explicit worker count (`1` forces a sequential run).
 pub fn run_suite_with(suite: &Suite, options: &InferOptions, workers: usize) -> SuiteReport {
+    run_suite_with_analysis(suite, workers, |program| {
+        run_program(&program.name, &program.source, program.expected, options)
+    })
+}
+
+/// [`run_suite_with`] with a caller-supplied per-program analysis hook (used by
+/// tests to inject failures, and by custom analyzers).
+///
+/// A panicking hook is isolated per program: the program scores as
+/// [`Outcome::Unknown`] with an error note, every other program still runs, and
+/// the report stays in corpus order — one crash never aborts or reorders a run.
+pub fn run_suite_with_analysis<F>(suite: &Suite, workers: usize, analysis: F) -> SuiteReport
+where
+    F: Fn(&crate::templates::BenchProgram) -> ProgramReport + Sync,
+{
     let workers = workers.max(1);
     let mut programs: Vec<Option<ProgramReport>> = vec![None; suite.programs.len()];
     let next = std::sync::atomic::AtomicUsize::new(0);
@@ -198,9 +244,29 @@ pub fn run_suite_with(suite: &Suite, options: &InferOptions, workers: usize) -> 
                 let Some(program) = suite.programs.get(index) else {
                     return;
                 };
+                // Isolate the hook: a panic becomes an Unknown report with a note.
                 let report =
-                    run_program(&program.name, &program.source, program.expected, options);
-                slots.lock().expect("no panics hold the lock")[index] = Some(report);
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        analysis(program)
+                    })) {
+                        Ok(report) => report,
+                        Err(payload) => ProgramReport {
+                            name: program.name.clone(),
+                            expected: program.expected,
+                            outcome: Outcome::Unknown,
+                            elapsed: 0.0,
+                            work: 0,
+                            note: Some(panic_note(payload.as_ref())),
+                        },
+                    };
+                // A worker that panicked between lock() and the slot write would
+                // poison the mutex; recover the inner data instead of aborting
+                // the whole suite on a single program's crash.
+                let mut guard = match slots.lock() {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                guard[index] = Some(report);
             });
         }
     });
@@ -279,6 +345,55 @@ mod tests {
     }
 
     #[test]
+    fn panicking_analysis_hook_is_isolated_per_program() {
+        let suite = tiny_suite();
+        let options = InferOptions::default();
+        let run = || {
+            run_suite_with_analysis(&suite, 2, |program| {
+                if program.name == "n_up" {
+                    panic!("deliberate failure on {}", program.name);
+                }
+                run_program(&program.name, &program.source, program.expected, &options)
+            })
+        };
+        // Silence the default panic-hook backtrace spam for the deliberate panics.
+        let previous_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let report = run();
+        let again = run();
+        std::panic::set_hook(previous_hook);
+
+        // The whole suite still ran, in corpus order.
+        assert_eq!(report.total(), 3);
+        let names: Vec<&str> = report.programs.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, ["t_down", "n_up", "u_nondet"]);
+        // The crashed program scores Unknown with an error note; nothing unsound.
+        let crashed = &report.programs[1];
+        assert_eq!(crashed.outcome, Outcome::Unknown);
+        let note = crashed.note.as_deref().expect("panic recorded as note");
+        assert!(note.contains("deliberate failure on n_up"), "note: {note}");
+        assert!(report.unsound().is_empty());
+        // The other programs are unaffected.
+        assert_eq!(report.programs[0].outcome, Outcome::Yes);
+        assert!(report.programs[0].note.is_none());
+        // And the run stays deterministic.
+        for (a, b) in report.programs.iter().zip(&again.programs) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.outcome, b.outcome);
+            assert_eq!(a.note, b.note);
+        }
+    }
+
+    #[test]
+    fn run_program_with_catches_panics() {
+        let report = run_program_with("boom", Expected::Terminating, || {
+            panic!("kaboom {}", 42);
+        });
+        assert_eq!(report.outcome, Outcome::Unknown);
+        assert!(report.note.unwrap().contains("kaboom 42"));
+    }
+
+    #[test]
     fn unsoundness_is_detected_by_the_scorer() {
         let report = ProgramReport {
             name: "x".into(),
@@ -286,6 +401,7 @@ mod tests {
             outcome: Outcome::Yes,
             elapsed: 0.0,
             work: 0,
+            note: None,
         };
         assert!(report.is_unsound());
         assert!(!report.is_correct_definite());
@@ -299,6 +415,7 @@ mod tests {
             outcome,
             elapsed: 0.0,
             work: 0,
+            note: None,
         };
         let report = SuiteReport {
             suite: "mini".into(),

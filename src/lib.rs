@@ -10,7 +10,8 @@
 //!
 //! * [`lang`] — the core imperative language, specifications, parser and desugaring;
 //! * [`logic`] — linear integer arithmetic (satisfiability, entailment, projection);
-//! * [`solver`] — exact simplex, Farkas encodings, (lexicographic) ranking synthesis;
+//! * [`solver`] — exact simplex, Farkas encodings, and ranking synthesis across the
+//!   linear, lexicographic, max-based and multiphase measure domains;
 //! * [`heap`] — the separation-logic substrate (`lseg`, `cll`, lemmas, size facts);
 //! * [`verify`] — Hoare-style forward verification producing relational assumptions;
 //! * [`infer`] — the paper's `solve` algorithm and the end-to-end analyzer;
@@ -26,7 +27,8 @@
 //! crates/
 //!   lang/      tnt-lang       lexer, parser, AST, type-check, desugar, specs
 //!   logic/     tnt-logic      formulas, DNF, satisfiability, entailment, QE
-//!   solver/    tnt-solver     rationals, exact simplex, Farkas, ranking synthesis
+//!   solver/    tnt-solver     rationals, simplex, Farkas, ranking synthesis
+//!                             (linear, lexicographic, max-based, multiphase)
 //!   heap/      tnt-heap       separation-logic predicates, entailment, invariants
 //!   verify/    tnt-verify     Hoare-style forward verification, assumptions
 //!   infer/     tnt-infer      the solve algorithm, case summaries, analyzer
@@ -43,7 +45,7 @@
 //! ```sh
 //! cargo run --release -p tnt-bench --bin fig10     # Fig. 10 (+ --json)
 //! cargo run --release -p tnt-bench --bin fig11     # Fig. 11 (+ --json)
-//! cargo run --release -p tnt-bench --bin ablation  # feature ablation
+//! cargo run --release -p tnt-bench --bin ablation  # feature ablation (+ --json)
 //! cargo bench -p tnt-bench                         # micro benchmarks
 //! ```
 //!

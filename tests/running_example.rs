@@ -29,7 +29,8 @@ fn foo_summary_matches_the_paper() {
             CaseStatus::Term(measure) => {
                 assert!(entail::equivalent(&case.guard, &term_ranked));
                 // The measure is [x] (possibly scaled); it must mention x positively.
-                assert!(measure[0].coeff("x").is_positive());
+                let affine = measure[0].as_affine().expect("plain affine measure");
+                assert!(affine.coeff("x").is_positive());
                 assert!(case.post_reachable());
             }
             CaseStatus::Loop => {

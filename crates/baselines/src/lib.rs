@@ -25,8 +25,9 @@
 #![warn(missing_docs)]
 
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
-use tnt_infer::{analyze_program, InferOptions, Verdict};
+use tnt_infer::{analyze_program, AnalysisResult, AnalysisSession, InferError, InferOptions, Verdict};
 use tnt_lang::ast::Program;
 
 /// The answer of a tool on one benchmark program (the columns of Fig. 10/11).
@@ -75,6 +76,21 @@ fn frontend(source: &str) -> Option<Program> {
     tnt_lang::frontend(source).ok()
 }
 
+/// Analyses a program through the shared [`AnalysisSession`] when one is
+/// attached (the summary cache keys on the canonical program *and* the options
+/// fingerprint, so differently-configured profiles can share one session), and
+/// directly otherwise.
+fn analyze(
+    session: &Option<Arc<AnalysisSession>>,
+    program: &Program,
+    options: &InferOptions,
+) -> Result<AnalysisResult, InferError> {
+    match session {
+        Some(session) => session.analyze_program_with(program, options),
+        None => analyze_program(program, options),
+    }
+}
+
 fn verdict_to_answer(verdict: Verdict) -> Answer {
     match verdict {
         Verdict::Terminating => Answer::Yes,
@@ -88,6 +104,25 @@ fn verdict_to_answer(verdict: Verdict) -> Answer {
 pub struct HipTntPlus {
     /// Inference options (defaults are the paper's configuration).
     pub options: InferOptions,
+    /// Optional shared batch session (see [`HipTntPlus::with_session`]).
+    session: Option<Arc<AnalysisSession>>,
+}
+
+impl HipTntPlus {
+    /// A profile with explicit options and no shared session.
+    pub fn with_options(options: InferOptions) -> HipTntPlus {
+        HipTntPlus {
+            options,
+            session: None,
+        }
+    }
+
+    /// Attaches a shared [`AnalysisSession`], so repeated programs (and repeated
+    /// profiles over the same corpus) are served from its summary cache.
+    pub fn with_session(mut self, session: Arc<AnalysisSession>) -> HipTntPlus {
+        self.session = Some(session);
+        self
+    }
 }
 
 impl Analyzer for HipTntPlus {
@@ -99,7 +134,7 @@ impl Analyzer for HipTntPlus {
         let start = Instant::now();
         let answer = match frontend(source) {
             None => Answer::Unknown,
-            Some(program) => match analyze_program(&program, &self.options) {
+            Some(program) => match analyze(&self.session, &program, &self.options) {
                 Ok(result) => match result.program_verdict() {
                     // An inconclusive verdict caused by budget exhaustion is the
                     // deterministic analogue of the paper's T/O outcome.
@@ -123,11 +158,23 @@ impl Analyzer for HipTntPlus {
 pub struct TermOnly {
     /// Work budget in solver attempts (ranking + non-termination + splits).
     pub budget: usize,
+    session: Option<Arc<AnalysisSession>>,
 }
 
 impl Default for TermOnly {
     fn default() -> Self {
-        TermOnly { budget: 4 }
+        TermOnly {
+            budget: 4,
+            session: None,
+        }
+    }
+}
+
+impl TermOnly {
+    /// Attaches a shared [`AnalysisSession`] (see [`HipTntPlus::with_session`]).
+    pub fn with_session(mut self, session: Arc<AnalysisSession>) -> TermOnly {
+        self.session = Some(session);
+        self
     }
 }
 
@@ -147,7 +194,7 @@ impl Analyzer for TermOnly {
         };
         let answer = match frontend(source) {
             None => Answer::Unknown,
-            Some(program) => match analyze_program(&program, &options) {
+            Some(program) => match analyze(&self.session, &program, &options) {
                 Ok(result) => {
                     let work = result.stats.ranking_attempts
                         + result.stats.nonterm_attempts
@@ -181,11 +228,25 @@ impl Analyzer for TermOnly {
 pub struct Alternation {
     /// Work budget in solver attempts.
     pub budget: usize,
+    session: Option<Arc<AnalysisSession>>,
 }
 
 impl Default for Alternation {
     fn default() -> Self {
-        Alternation { budget: 3 }
+        Alternation {
+            budget: 3,
+            session: None,
+        }
+    }
+}
+
+impl Alternation {
+    /// Attaches a shared [`AnalysisSession`] (see [`HipTntPlus::with_session`]).
+    /// The cache stays sound under the profile's program mutation: keys are
+    /// computed from the *mutated* program this profile actually analyses.
+    pub fn with_session(mut self, session: Arc<AnalysisSession>) -> Alternation {
+        self.session = Some(session);
+        self
     }
 }
 
@@ -216,7 +277,7 @@ impl Analyzer for Alternation {
                         }
                     }
                 }
-                match analyze_program(&program, &options) {
+                match analyze(&self.session, &program, &options) {
                     Ok(result) => {
                         let work = result.stats.ranking_attempts
                             + result.stats.nonterm_attempts
@@ -251,11 +312,23 @@ impl Analyzer for Alternation {
 pub struct IntegerLoopOnly {
     /// Work budget in solver attempts.
     pub budget: usize,
+    session: Option<Arc<AnalysisSession>>,
 }
 
 impl Default for IntegerLoopOnly {
     fn default() -> Self {
-        IntegerLoopOnly { budget: 5 }
+        IntegerLoopOnly {
+            budget: 5,
+            session: None,
+        }
+    }
+}
+
+impl IntegerLoopOnly {
+    /// Attaches a shared [`AnalysisSession`] (see [`HipTntPlus::with_session`]).
+    pub fn with_session(mut self, session: Arc<AnalysisSession>) -> IntegerLoopOnly {
+        self.session = Some(session);
+        self
     }
 }
 
@@ -286,7 +359,7 @@ impl Analyzer for IntegerLoopOnly {
                         validate: false,
                         ..InferOptions::default()
                     };
-                    match frontend(source).and_then(|p| analyze_program(&p, &options).ok()) {
+                    match frontend(source).and_then(|p| analyze(&self.session, &p, &options).ok()) {
                         None => Answer::Unknown,
                         Some(result) => {
                             let work =
@@ -369,6 +442,38 @@ void main(node x, node y)
         assert_eq!(tool.run(RECURSIVE).answer, Answer::Unknown);
         let heap = "data node { node next; } void main(node x) { return; }";
         assert_eq!(tool.run(heap).answer, Answer::Unknown);
+    }
+
+    /// Sharing one session (one summary cache) across all four capability
+    /// profiles must not change a single answer: the cache key includes the
+    /// canonical form of the program each profile *actually* analyses (after
+    /// Alternation's heap-spec stripping) and the options fingerprint.
+    #[test]
+    fn shared_session_does_not_change_any_profile_answer() {
+        let session = Arc::new(AnalysisSession::new(InferOptions::default()));
+        let programs = [TERMINATING, DIVERGING, CONDITIONAL, RECURSIVE];
+        let plain: Vec<Box<dyn Analyzer>> = vec![
+            Box::new(HipTntPlus::default()),
+            Box::new(TermOnly::default()),
+            Box::new(Alternation::default()),
+            Box::new(IntegerLoopOnly::default()),
+        ];
+        let shared: Vec<Box<dyn Analyzer>> = vec![
+            Box::new(HipTntPlus::default().with_session(Arc::clone(&session))),
+            Box::new(TermOnly::default().with_session(Arc::clone(&session))),
+            Box::new(Alternation::default().with_session(Arc::clone(&session))),
+            Box::new(IntegerLoopOnly::default().with_session(Arc::clone(&session))),
+        ];
+        for (a, b) in plain.iter().zip(&shared) {
+            for source in programs {
+                // Run the shared profile twice: the second pass is served from
+                // the cache and must still agree.
+                assert_eq!(a.run(source).answer, b.run(source).answer, "{}", a.name());
+                assert_eq!(a.run(source).answer, b.run(source).answer, "{}", a.name());
+            }
+        }
+        let stats = session.stats();
+        assert!(stats.cache_hits > 0, "repeat runs must hit the cache");
     }
 
     #[test]

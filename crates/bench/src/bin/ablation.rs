@@ -4,37 +4,37 @@
 //!
 //! With `--json` the table is emitted as JSON only (the CI smoke test contract).
 
+use std::sync::Arc;
 use tnt_baselines::{Analyzer, HipTntPlus};
 use tnt_bench::Table;
-use tnt_infer::InferOptions;
+use tnt_infer::{AnalysisSession, InferOptions};
 
 fn main() {
     let suites = vec![tnt_suite::crafted(), tnt_suite::crafted_lit()];
-    let full = HipTntPlus::default();
-    let no_split = HipTntPlus {
-        options: InferOptions {
-            enable_case_split: false,
-            ..InferOptions::default()
-        },
+    // One session — one summary cache — across every option profile: the cache
+    // key includes the options fingerprint, so profiles never collide, while
+    // each profile reuses summaries across the template-duplicated corpora.
+    let session = Arc::new(AnalysisSession::new(InferOptions::default()));
+    let profile = |options: InferOptions| {
+        HipTntPlus::with_options(options).with_session(Arc::clone(&session))
     };
-    let no_base = HipTntPlus {
-        options: InferOptions {
-            enable_base_case: false,
-            ..InferOptions::default()
-        },
-    };
-    let no_lex = HipTntPlus {
-        options: InferOptions {
-            lexicographic: false,
-            ..InferOptions::default()
-        },
-    };
-    let no_multiphase = HipTntPlus {
-        options: InferOptions {
-            multiphase: false,
-            ..InferOptions::default()
-        },
-    };
+    let full = profile(InferOptions::default());
+    let no_split = profile(InferOptions {
+        enable_case_split: false,
+        ..InferOptions::default()
+    });
+    let no_base = profile(InferOptions {
+        enable_base_case: false,
+        ..InferOptions::default()
+    });
+    let no_lex = profile(InferOptions {
+        lexicographic: false,
+        ..InferOptions::default()
+    });
+    let no_multiphase = profile(InferOptions {
+        multiphase: false,
+        ..InferOptions::default()
+    });
     struct Named<'a>(&'static str, &'a HipTntPlus);
     impl Analyzer for Named<'_> {
         fn name(&self) -> &'static str {
@@ -60,6 +60,11 @@ fn main() {
         println!(
             "{}",
             table.render("Ablation: feature switches of the inference engine")
+        );
+        let stats = session.stats();
+        println!(
+            "(session: {} programs, {} analysed, {} served from cache)",
+            stats.programs, stats.cache_misses, stats.cache_hits
         );
     }
 }

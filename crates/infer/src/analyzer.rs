@@ -95,6 +95,13 @@ pub struct AnalysisResult {
     /// Whether the re-verification of the inferred specifications succeeded
     /// (`true` when validation is disabled).
     pub validated: bool,
+    /// `true` when saturating rational arithmetic corrupted some value during this
+    /// analysis. The summaries have been degraded to the inconclusive
+    /// budget-exhausted outcome (`MayLoop`, `stats.budget_exhausted` set), and the
+    /// bit travels *with the result* — a cache entry served on a different thread
+    /// stays poisoned without consulting the per-thread
+    /// [`tnt_solver::rational::overflow_work`] counter that detected it.
+    pub poisoned: bool,
     /// Wall-clock time of the analysis in seconds.
     pub elapsed: f64,
 }
@@ -180,7 +187,11 @@ pub fn analyze_program(
         };
         summary_map.insert(label, summary);
     }
-    if tnt_solver::rational::overflow_work() != overflow_before {
+    // The thread-local overflow counter only detects saturation *here*, on the
+    // thread that ran the analysis; from this point on the poison is carried by
+    // the result itself so it survives caching and thread hand-offs.
+    let poisoned = tnt_solver::rational::overflow_work() != overflow_before;
+    if poisoned {
         // Some rational operation saturated: every value computed since — guards,
         // measures, verdicts — is untrustworthy. Degrade the whole result to the
         // inconclusive budget-exhausted outcome instead of risking an unsound
@@ -198,6 +209,7 @@ pub fn analyze_program(
         summaries: summary_map,
         stats,
         validated,
+        poisoned,
         elapsed: start.elapsed().as_secs_f64(),
     })
 }

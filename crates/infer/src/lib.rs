@@ -55,11 +55,13 @@
 
 pub mod analyzer;
 pub mod prove;
+pub mod session;
 pub mod solve;
 pub mod specialize;
 pub mod summary;
 pub mod theta;
 
 pub use analyzer::{analyze_program, analyze_source, AnalysisResult, InferError, InferOptions};
+pub use session::{AnalysisSession, BatchEntry, ProgramKey, SessionStats};
 pub use summary::{CaseStatus, MethodSummary, SummaryCase, Verdict};
 pub use theta::Theta;

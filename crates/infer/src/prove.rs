@@ -396,6 +396,10 @@ pub struct NonTermOutcome {
     pub success: bool,
     /// When the proof failed: abduced case-split conditions per pre-predicate.
     pub splits: BTreeMap<String, Vec<Formula>>,
+    /// Abnormal conditions encountered during the attempt (e.g. a pre-predicate
+    /// with no paired post-predicate in the store). A failure with diagnostics is
+    /// a malformed input, not a genuine "the program may terminate" answer.
+    pub diagnostics: Vec<String>,
 }
 
 /// `prove_NonTerm`: inductive unreachability of the SCC's post-predicates, with
@@ -410,6 +414,12 @@ pub fn prove_nonterm(
     let mut all_ok = true;
     for pre in scc {
         let Some(post) = theta.post_of_pre(pre) else {
+            // A pre-predicate without a paired post-predicate means the store is
+            // malformed (or the case was already resolved out from under us) — record
+            // it so the failure is distinguishable from a genuine proof failure.
+            outcome.diagnostics.push(format!(
+                "pre-predicate {pre} has no paired post-predicate in the store"
+            ));
             all_ok = false;
             continue;
         };
@@ -574,6 +584,40 @@ pub fn split(conditions: &[Formula], guard: &Formula) -> Vec<Formula> {
 mod tests {
     use super::*;
     use tnt_logic::{num, var};
+
+    #[test]
+    fn prove_nonterm_reports_malformed_theta_in_diagnostics() {
+        use crate::theta::CaseState;
+        let mut theta = Theta::new();
+        theta.register("Upr_f#0", "Upo_f#0", vec!["x".to_string()]);
+        // Resolving the case detaches its post-predicate: `post_of_pre` yields
+        // `None`, which used to make prove_nonterm fail with no trace. The failure
+        // must now carry a diagnostic distinguishing it from a genuine one.
+        theta.resolve("Upr_f#0", CaseState::Term(vec![]));
+        let outcome = prove_nonterm(
+            &["Upr_f#0".to_string()],
+            &[],
+            &theta,
+            &ProveOptions::default(),
+        );
+        assert!(!outcome.success);
+        assert_eq!(outcome.diagnostics.len(), 1);
+        assert!(
+            outcome.diagnostics[0].contains("Upr_f#0"),
+            "diagnostic must name the malformed pre-predicate: {:?}",
+            outcome.diagnostics
+        );
+        // A well-formed (still unresolved) store attempts the proof without noise.
+        let mut healthy = Theta::new();
+        healthy.register("Upr_g#0", "Upo_g#0", vec!["x".to_string()]);
+        let outcome = prove_nonterm(
+            &["Upr_g#0".to_string()],
+            &[],
+            &healthy,
+            &ProveOptions::default(),
+        );
+        assert!(outcome.diagnostics.is_empty());
+    }
 
     #[test]
     fn abduce_recovers_paper_condition() {

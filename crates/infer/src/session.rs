@@ -1,0 +1,676 @@
+//! Batched analysis sessions with a cross-program summary cache.
+//!
+//! Every gate and bench binary used to call [`analyze_source`](crate::analyze_source)
+//! once per program, re-lexing, re-parsing and re-solving identical method bodies —
+//! the template-generated corpora share most of theirs, and the ablation/figure
+//! binaries repeat the whole corpus once per option profile. An
+//! [`AnalysisSession`] amortises that cost:
+//!
+//! * **Canonical method keys** — every method of a front-end-processed program is
+//!   reduced to its canonical form (the pretty-printed *normalized* AST: loops
+//!   desugared, bodies in ANF), and the program's cache key is the FNV-1a hash of
+//!   those canonical forms together with the [`InferOptions`] fingerprint (the
+//!   option subset that affects inference — see [`InferOptions::fingerprint`]).
+//!   Two textually different sources that normalise to the same program share one
+//!   cache entry; the full canonical text is kept inside the key, so a 64-bit hash
+//!   collision can never serve the summaries of a *different* program.
+//! * **Cross-program summary cache** — a concurrent map from keys to completed
+//!   [`AnalysisResult`]s. Entries carry the whole result, including the
+//!   [`AnalysisResult::poisoned`] bit: a summary degraded by saturated rational
+//!   arithmetic stays degraded when served on a *different* thread, where the
+//!   per-thread [`tnt_solver::rational::overflow_work`] counter that originally
+//!   detected the overflow never moved.
+//! * **Batched analysis** — [`AnalysisSession::analyze_batch`] parses every source
+//!   once, de-duplicates programs by key, and schedules the unique analyses (each
+//!   one a deterministic chain of per-SCC proofs) across a worker pool. Panics are
+//!   isolated per program, and the work units spent before an abort are attributed
+//!   to the aborting program instead of being dropped.
+//!
+//! # Determinism
+//!
+//! The analysis of one program is single-threaded and deterministic, so a cache
+//! entry is byte-identical to what a fresh analysis of the same canonical program
+//! under the same options would produce. Consequently every observable output —
+//! verdicts, rendered summaries, per-program `stats.work` — is identical with the
+//! cache enabled or disabled, and independent of worker count and scheduling
+//! order. Only wall-clock fields (`elapsed`) and the session's own
+//! [`SessionStats`] reflect the reuse. A cache entry is never invalidated: keys
+//! are pure functions of the canonical program text and the options fingerprint,
+//! and the analysis has no other inputs.
+//!
+//! # Example
+//!
+//! ```
+//! use tnt_infer::{AnalysisSession, InferOptions};
+//!
+//! let session = AnalysisSession::new(InferOptions::default());
+//! let source = "void main(int x) { while (x > 0) { x = x - 1; } }";
+//! let batch = session.analyze_batch(&[source, source]);
+//! assert_eq!(batch.len(), 2);
+//! assert!(batch[1].cache_hit, "identical program served from the cache");
+//! let stats = session.stats();
+//! assert_eq!((stats.cache_misses, stats.cache_hits), (1, 1));
+//! ```
+
+use crate::analyzer::{analyze_program, AnalysisResult, InferError, InferOptions};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use tnt_lang::ast::Program;
+
+impl InferOptions {
+    /// The canonical fingerprint of the option subset that affects inference
+    /// results — part of every cache key, so two profiles never share an entry
+    /// unless every result-relevant switch agrees. (Today that is *every* field:
+    /// even `validate` changes the result's `validated` flag.)
+    pub fn fingerprint(&self) -> String {
+        // Exhaustive destructuring (no `..`): adding a field to `InferOptions`
+        // without deciding its cache-key role is a compile error here, not a
+        // silent cross-profile aliasing bug.
+        let InferOptions {
+            max_iterations,
+            enable_base_case,
+            enable_case_split,
+            lexicographic,
+            max_lex_components,
+            multiphase,
+            max_phases,
+            validate,
+            work_budget,
+            max_total_cases,
+        } = self;
+        format!(
+            "it={max_iterations};bc={enable_base_case};cs={enable_case_split};\
+             lex={lexicographic};lc={max_lex_components};mp={multiphase};\
+             ph={max_phases};val={validate};wb={work_budget};tc={max_total_cases}"
+        )
+    }
+}
+
+/// The canonical form of one method: its pretty-printed declaration after the
+/// front-end has desugared loops and normalised the body. Methods with identical
+/// canonical forms are indistinguishable to the analysis.
+pub fn canonical_method(method: &tnt_lang::MethodDecl) -> String {
+    tnt_lang::pretty::method_str(method)
+}
+
+/// The canonical form of a whole front-end-processed program: every declaration
+/// the analysis can observe — data/predicate declarations, lemmas and each
+/// method's canonical form — as rendered by [`tnt_lang::pretty::program_str`].
+pub fn canonical_program(program: &Program) -> String {
+    tnt_lang::pretty::program_str(program)
+}
+
+fn fnv1a(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A summary-cache key: the canonical program text plus the options fingerprint,
+/// with a precomputed FNV-1a hash. Equality compares the full text, so hash
+/// collisions cannot alias two different programs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProgramKey {
+    hash: u64,
+    text: String,
+}
+
+impl ProgramKey {
+    /// Builds the key of a front-end-processed program under the given options.
+    pub fn of(program: &Program, options: &InferOptions) -> ProgramKey {
+        let mut text = canonical_program(program);
+        text.push('\x1f');
+        text.push_str(&options.fingerprint());
+        ProgramKey {
+            hash: fnv1a(&text),
+            text,
+        }
+    }
+
+    /// The precomputed 64-bit hash (exposed for diagnostics).
+    pub fn hash_value(&self) -> u64 {
+        self.hash
+    }
+}
+
+impl Hash for ProgramKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.hash.hash(state);
+    }
+}
+
+/// Counters of one session's reuse and spending, read via
+/// [`AnalysisSession::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Programs submitted (batch entries plus single-shot calls).
+    pub programs: u64,
+    /// Programs served from the summary cache (or de-duplicated within a batch).
+    pub cache_hits: u64,
+    /// Programs actually analysed.
+    pub cache_misses: u64,
+    /// Deterministic work units (simplex pivots + DNF cubes) actually spent by
+    /// this session across all worker threads — the full per-analysis counter
+    /// delta (verification, solving *and* validation; failed and panicked runs
+    /// included). Cache hits add nothing here, which is exactly the point.
+    pub work: u64,
+}
+
+/// One program's outcome within a batch (see
+/// [`AnalysisSession::analyze_batch`]).
+#[derive(Clone, Debug)]
+pub struct BatchEntry {
+    /// The analysis result, or the front-end/verification error. A panic inside
+    /// the analysis is isolated per program and reported as an `Err` whose
+    /// message is also available in [`BatchEntry::panic_note`].
+    pub result: Result<AnalysisResult, InferError>,
+    /// `Some(note)` when the analysis of this program panicked.
+    pub panic_note: Option<String>,
+    /// `true` when this entry was served from the cache (including de-duplicated
+    /// repeats within the same batch).
+    pub cache_hit: bool,
+    /// Deterministic work units attributed to this program: `stats.work` of the
+    /// (possibly cached) result, or — for a panicked analysis — the units the
+    /// aborted run had already spent. Identical across runs, worker counts, and
+    /// cache on/off.
+    pub work: u64,
+    /// Wall-clock seconds of the analysis that produced this entry (the original
+    /// computation's cost when served from cache).
+    pub elapsed: f64,
+}
+
+impl BatchEntry {
+    fn from_error(error: InferError) -> BatchEntry {
+        BatchEntry {
+            result: Err(error),
+            panic_note: None,
+            cache_hit: false,
+            work: 0,
+            elapsed: 0.0,
+        }
+    }
+}
+
+/// Outcome of analysing one unique program inside a batch.
+struct JobOutcome {
+    result: Result<AnalysisResult, InferError>,
+    panic_note: Option<String>,
+    /// Work units actually spent on this worker thread (also what a panicked run
+    /// burnt before aborting).
+    spent: u64,
+    elapsed: f64,
+}
+
+/// A batch analysis engine with a cross-program summary cache. See the
+/// [module documentation](self) for the key definition, invalidation rules and
+/// determinism guarantees.
+pub struct AnalysisSession {
+    options: InferOptions,
+    /// `None` when caching is disabled ([`AnalysisSession::without_cache`]).
+    cache: Option<Mutex<HashMap<ProgramKey, AnalysisResult>>>,
+    programs: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    work: AtomicU64,
+}
+
+impl std::fmt::Debug for AnalysisSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnalysisSession")
+            .field("options", &self.options)
+            .field("cache_enabled", &self.cache_enabled())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl AnalysisSession {
+    /// A session with the summary cache enabled (the default configuration).
+    pub fn new(options: InferOptions) -> AnalysisSession {
+        AnalysisSession {
+            options,
+            cache: Some(Mutex::new(HashMap::new())),
+            programs: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            work: AtomicU64::new(0),
+        }
+    }
+
+    /// A session that analyses every program from scratch — the reference
+    /// behaviour the cache-equivalence tests compare against.
+    pub fn without_cache(options: InferOptions) -> AnalysisSession {
+        AnalysisSession {
+            cache: None,
+            ..AnalysisSession::new(options)
+        }
+    }
+
+    /// The session's default [`InferOptions`].
+    pub fn options(&self) -> &InferOptions {
+        &self.options
+    }
+
+    /// Whether the summary cache is enabled.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// A snapshot of the session's reuse/spending counters.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            programs: self.programs.load(Ordering::Relaxed),
+            cache_hits: self.hits.load(Ordering::Relaxed),
+            cache_misses: self.misses.load(Ordering::Relaxed),
+            work: self.work.load(Ordering::Relaxed),
+        }
+    }
+
+    fn cache_get(&self, key: &ProgramKey) -> Option<AnalysisResult> {
+        let cache = self.cache.as_ref()?;
+        let guard = match cache.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        guard.get(key).cloned()
+    }
+
+    fn cache_put(&self, key: ProgramKey, result: &AnalysisResult) {
+        if let Some(cache) = &self.cache {
+            let mut guard = match cache.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            // Concurrent computations of the same key insert identical values
+            // (the analysis is deterministic), so last-write-wins is harmless.
+            guard.insert(key, result.clone());
+        }
+    }
+
+    /// Analyses a front-end-processed program under the session's default
+    /// options, consulting the summary cache first.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InferError`] when verification fails, exactly like
+    /// [`analyze_program`].
+    pub fn analyze_program(&self, program: &Program) -> Result<AnalysisResult, InferError> {
+        self.analyze_program_with(program, &self.options)
+    }
+
+    /// [`AnalysisSession::analyze_program`] with explicit options: the cache key
+    /// includes the options fingerprint, so several option profiles (e.g. the
+    /// ablation study's) can share one session — and one cache — without
+    /// cross-profile collisions.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InferError`] when verification fails.
+    pub fn analyze_program_with(
+        &self,
+        program: &Program,
+        options: &InferOptions,
+    ) -> Result<AnalysisResult, InferError> {
+        self.programs.fetch_add(1, Ordering::Relaxed);
+        let key = self
+            .cache_enabled()
+            .then(|| ProgramKey::of(program, options));
+        if let Some(key) = &key {
+            if let Some(hit) = self.cache_get(key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(hit);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Same accounting as the batch path: the per-thread counter delta, so
+        // verification/validation pivots and failed runs are charged too.
+        let work_before = crate::solve::work_units();
+        let result = analyze_program(program, options);
+        self.work.fetch_add(
+            crate::solve::work_units().wrapping_sub(work_before),
+            Ordering::Relaxed,
+        );
+        if let (Some(key), Ok(result)) = (key, &result) {
+            self.cache_put(key, result);
+        }
+        result
+    }
+
+    /// Analyses source text (full front-end + cached analysis) under the
+    /// session's default options.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InferError`] for parse/type errors as well as verification
+    /// failures.
+    pub fn analyze_source(&self, source: &str) -> Result<AnalysisResult, InferError> {
+        self.analyze_source_with(source, &self.options)
+    }
+
+    /// [`AnalysisSession::analyze_source`] with explicit options (see
+    /// [`AnalysisSession::analyze_program_with`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InferError`] for parse/type errors as well as verification
+    /// failures.
+    pub fn analyze_source_with(
+        &self,
+        source: &str,
+        options: &InferOptions,
+    ) -> Result<AnalysisResult, InferError> {
+        let program = tnt_lang::frontend(source).map_err(|message| InferError { message })?;
+        self.analyze_program_with(&program, options)
+    }
+
+    /// Analyses a batch of sources with the default worker count
+    /// (`available_parallelism`). See
+    /// [`AnalysisSession::analyze_batch_with`].
+    pub fn analyze_batch(&self, sources: &[&str]) -> Vec<BatchEntry> {
+        self.analyze_batch_with(sources, default_workers())
+    }
+
+    /// Analyses a batch of sources: parses each once, de-duplicates programs by
+    /// canonical key (when the cache is enabled), and schedules the unique
+    /// analyses across `workers` threads (`1` forces a sequential run). Entries
+    /// come back in input order; a panic inside one program's analysis is
+    /// isolated into that program's entry and never aborts the batch.
+    pub fn analyze_batch_with(&self, sources: &[&str], workers: usize) -> Vec<BatchEntry> {
+        struct Job {
+            program: Program,
+            key: Option<ProgramKey>,
+            /// Input indices served by this job (first = the computing one).
+            targets: Vec<usize>,
+        }
+
+        self.programs
+            .fetch_add(sources.len() as u64, Ordering::Relaxed);
+        let mut entries: Vec<Option<BatchEntry>> = (0..sources.len()).map(|_| None).collect();
+        let mut jobs: Vec<Job> = Vec::new();
+        let mut job_of_key: HashMap<ProgramKey, usize> = HashMap::new();
+        for (index, source) in sources.iter().enumerate() {
+            let program = match tnt_lang::frontend(source) {
+                Ok(program) => program,
+                Err(message) => {
+                    entries[index] = Some(BatchEntry::from_error(InferError { message }));
+                    continue;
+                }
+            };
+            if self.cache_enabled() {
+                let key = ProgramKey::of(&program, &self.options);
+                if let Some(job_index) = job_of_key.get(&key) {
+                    // De-duplicated within this batch: served once the job ran.
+                    jobs[*job_index].targets.push(index);
+                    continue;
+                }
+                if let Some(hit) = self.cache_get(&key) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    entries[index] = Some(BatchEntry {
+                        panic_note: None,
+                        cache_hit: true,
+                        work: hit.stats.work,
+                        elapsed: hit.elapsed,
+                        result: Ok(hit),
+                    });
+                    continue;
+                }
+                job_of_key.insert(key.clone(), jobs.len());
+                jobs.push(Job {
+                    program,
+                    key: Some(key),
+                    targets: vec![index],
+                });
+            } else {
+                jobs.push(Job {
+                    program,
+                    key: None,
+                    targets: vec![index],
+                });
+            }
+        }
+
+        // Run the unique analyses across the worker pool. Each job executes
+        // wholly on one worker, so the per-thread counters (work units, overflow
+        // poison) attribute correctly; the job order is fixed up-front and the
+        // slot writes are indexed, so scheduling cannot reorder results.
+        let mut outcomes: Vec<Option<JobOutcome>> = (0..jobs.len()).map(|_| None).collect();
+        let workers = workers.max(1).min(jobs.len().max(1));
+        let next = AtomicU64::new(0);
+        let slots = Mutex::new(&mut outcomes);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed) as usize;
+                    let Some(job) = jobs.get(index) else {
+                        return;
+                    };
+                    let outcome = run_job(&job.program, &self.options);
+                    self.work.fetch_add(outcome.spent, Ordering::Relaxed);
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    let mut guard = match slots.lock() {
+                        Ok(guard) => guard,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                    guard[index] = Some(outcome);
+                });
+            }
+        });
+
+        // Publish results to the cache and fan out to the duplicate inputs.
+        for (job, outcome) in jobs.iter().zip(outcomes) {
+            let outcome = outcome.expect("every job index was processed");
+            if let (Some(key), Ok(result)) = (&job.key, &outcome.result) {
+                self.cache_put(key.clone(), result);
+            }
+            let repeats = job.targets.len().saturating_sub(1) as u64;
+            self.hits.fetch_add(repeats, Ordering::Relaxed);
+            for (position, target) in job.targets.iter().enumerate() {
+                entries[*target] = Some(BatchEntry {
+                    result: outcome.result.clone(),
+                    panic_note: outcome.panic_note.clone(),
+                    cache_hit: position > 0,
+                    work: match &outcome.result {
+                        Ok(result) => result.stats.work,
+                        Err(_) => outcome.spent,
+                    },
+                    elapsed: outcome.elapsed,
+                });
+            }
+        }
+        entries
+            .into_iter()
+            .map(|entry| entry.expect("every input index was processed"))
+            .collect()
+    }
+}
+
+/// Analyses one unique program, isolating panics and attributing the work units
+/// spent before an abort.
+fn run_job(program: &Program, options: &InferOptions) -> JobOutcome {
+    let start = std::time::Instant::now();
+    let work_before = crate::solve::work_units();
+    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        analyze_program(program, options)
+    }));
+    let spent = crate::solve::work_units().wrapping_sub(work_before);
+    let (result, panic_note) = match attempt {
+        Ok(result) => (result, None),
+        Err(payload) => {
+            let note = panic_note(payload.as_ref());
+            (
+                Err(InferError {
+                    message: note.clone(),
+                }),
+                Some(note),
+            )
+        }
+    };
+    JobOutcome {
+        result,
+        panic_note,
+        spent,
+        elapsed: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Renders a caught panic payload as a readable note (`analysis panicked: …`).
+/// Shared with the suite runner's own panic-isolation paths so the note format
+/// cannot drift between the two layers.
+pub fn panic_note(payload: &(dyn std::any::Any + Send)) -> String {
+    let message = payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string());
+    format!("analysis panicked: {message}")
+}
+
+/// The default batch worker count: one per available core.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::Verdict;
+
+    const COUNTDOWN: &str = "void main(int x) { while (x > 0) { x = x - 1; } }";
+    const DIVERGING: &str = "void main(int x) { while (x >= 0) { x = x + 1; } }";
+    /// Same canonical program as [`COUNTDOWN`], different surface text.
+    const COUNTDOWN_WS: &str = "void  main(int x)\n{ while (x > 0) { x = x - 1; } }";
+
+    #[test]
+    fn batch_deduplicates_identical_programs() {
+        let session = AnalysisSession::new(InferOptions::default());
+        let batch = session.analyze_batch_with(&[COUNTDOWN, DIVERGING, COUNTDOWN_WS], 2);
+        assert_eq!(batch.len(), 3);
+        let verdicts: Vec<Verdict> = batch
+            .iter()
+            .map(|e| e.result.as_ref().unwrap().program_verdict())
+            .collect();
+        assert_eq!(
+            verdicts,
+            [
+                Verdict::Terminating,
+                Verdict::NonTerminating,
+                Verdict::Terminating
+            ]
+        );
+        // Whitespace differences normalise away: the third entry is a hit.
+        assert!(!batch[0].cache_hit && !batch[1].cache_hit && batch[2].cache_hit);
+        assert_eq!(batch[0].work, batch[2].work);
+        let stats = session.stats();
+        assert_eq!((stats.programs, stats.cache_misses, stats.cache_hits), (3, 2, 1));
+    }
+
+    #[test]
+    fn cache_persists_across_batches_and_single_calls() {
+        let session = AnalysisSession::new(InferOptions::default());
+        let first = session.analyze_source(COUNTDOWN).unwrap();
+        let batch = session.analyze_batch_with(&[COUNTDOWN], 1);
+        assert!(batch[0].cache_hit);
+        let again = batch[0].result.as_ref().unwrap();
+        assert_eq!(first.program_verdict(), again.program_verdict());
+        assert_eq!(first.stats.work, again.stats.work);
+        let stats = session.stats();
+        assert_eq!((stats.cache_misses, stats.cache_hits), (1, 1));
+        // Work is only spent once: the session total covers the single analysis
+        // (solve work plus its verification/validation surroundings) and the
+        // cache hit added nothing.
+        assert!(stats.work >= first.stats.work);
+        let total_after_hit = session.stats().work;
+        assert_eq!(total_after_hit, stats.work);
+    }
+
+    #[test]
+    fn disabled_cache_analyses_every_program() {
+        let session = AnalysisSession::without_cache(InferOptions::default());
+        let batch = session.analyze_batch_with(&[COUNTDOWN, COUNTDOWN], 2);
+        assert!(batch.iter().all(|e| !e.cache_hit));
+        let stats = session.stats();
+        assert_eq!((stats.cache_misses, stats.cache_hits), (2, 0));
+    }
+
+    #[test]
+    fn option_profiles_never_share_entries() {
+        let session = AnalysisSession::new(InferOptions::default());
+        let defaults = session.analyze_source(COUNTDOWN).unwrap();
+        let no_validate = InferOptions {
+            validate: false,
+            ..InferOptions::default()
+        };
+        let other = session
+            .analyze_source_with(COUNTDOWN, &no_validate)
+            .unwrap();
+        // Same verdict, but distinct cache entries: two misses, no false hit.
+        assert_eq!(defaults.program_verdict(), other.program_verdict());
+        let stats = session.stats();
+        assert_eq!((stats.cache_misses, stats.cache_hits), (2, 0));
+        assert_ne!(
+            InferOptions::default().fingerprint(),
+            no_validate.fingerprint()
+        );
+    }
+
+    #[test]
+    fn frontend_errors_become_per_entry_errors() {
+        let session = AnalysisSession::new(InferOptions::default());
+        let batch = session.analyze_batch_with(&["void broken(", COUNTDOWN], 2);
+        assert!(batch[0].result.is_err());
+        assert!(batch[0].panic_note.is_none());
+        assert!(batch[1].result.is_ok());
+    }
+
+    #[test]
+    fn canonical_program_includes_lemmas() {
+        let with_lemma = "\
+data node { node next; }
+pred lseg(root, q, n) == root = q & n = 0 or root -> node(p) * lseg(p, q, n - 1);
+pred cll(root, n) == root -> node(p) * lseg(p, root, n - 1);
+lemma lseg(a, b, m) * b -> node(a) == cll(a, m + 1);
+void main(node x) requires cll(x, n) ensures true; { return; }";
+        let program = tnt_lang::frontend(with_lemma).unwrap();
+        let mut stripped = program.clone();
+        stripped.lemmas.clear();
+        assert_ne!(
+            canonical_program(&program),
+            canonical_program(&stripped),
+            "lemmas change entailment results and must be part of the key"
+        );
+        let options = InferOptions::default();
+        assert_ne!(
+            ProgramKey::of(&program, &options),
+            ProgramKey::of(&stripped, &options)
+        );
+    }
+
+    #[test]
+    fn batch_results_are_identical_across_worker_counts() {
+        let sources = [COUNTDOWN, DIVERGING, COUNTDOWN_WS, COUNTDOWN];
+        let sequential = AnalysisSession::new(InferOptions::default());
+        let parallel = AnalysisSession::new(InferOptions::default());
+        let a = sequential.analyze_batch_with(&sources, 1);
+        let b = parallel.analyze_batch_with(&sources, 4);
+        for (x, y) in a.iter().zip(&b) {
+            let (rx, ry) = (x.result.as_ref().unwrap(), y.result.as_ref().unwrap());
+            assert_eq!(rx.program_verdict(), ry.program_verdict());
+            assert_eq!(x.work, y.work);
+            let render = |r: &AnalysisResult| {
+                r.summaries
+                    .iter()
+                    .map(|(label, s)| format!("{label}:{}", s.render()))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            };
+            assert_eq!(render(rx), render(ry));
+        }
+    }
+}

@@ -272,7 +272,11 @@ pub fn solve(analysis: &ProgramAnalysis, options: &SolveOptions) -> (Theta, Solv
 
 /// The deterministic work measure budgeted by [`SolveOptions::work_budget`]:
 /// simplex pivots plus DNF cubes, the two super-linear cores of the back-end.
-fn work_units() -> u64 {
+///
+/// The counter is monotone and **per-thread**; callers that need to attribute the
+/// work spent by a unit of analysis (including one that panics mid-way) snapshot
+/// it before and after on the same thread.
+pub fn work_units() -> u64 {
     tnt_solver::simplex::pivot_work().wrapping_add(tnt_logic::dnf::cube_work())
 }
 

@@ -219,6 +219,19 @@ pub fn method_str(method: &MethodDecl) -> String {
     out
 }
 
+/// Pretty prints one side of a lemma (its heap and pure parts), eliding a
+/// redundant `& true` so the output stays parseable.
+fn lemma_side_str(heap: &HeapFormula, pure: &Expr) -> String {
+    let mut parts = Vec::new();
+    if !heap.is_emp() {
+        parts.push(heap_str(heap));
+    }
+    if *pure != Expr::Bool(true) || parts.is_empty() {
+        parts.push(expr_str(pure));
+    }
+    parts.join(" & ")
+}
+
 /// Pretty prints a whole program.
 pub fn program_str(program: &Program) -> String {
     let mut out = String::new();
@@ -241,6 +254,14 @@ pub fn program_str(program: &Program) -> String {
             "pred {}({}) == {branches};\n",
             pred.name,
             pred.params.join(", ")
+        );
+    }
+    for lemma in &program.lemmas {
+        let _ = writeln!(
+            out,
+            "lemma {} == {};\n",
+            lemma_side_str(&lemma.lhs.0, &lemma.lhs.1),
+            lemma_side_str(&lemma.rhs.0, &lemma.rhs.1)
         );
     }
     for method in &program.methods {
@@ -277,6 +298,25 @@ mod tests {
         "#;
         let program = parse_program(source).unwrap();
         let printed = program_str(&program);
+        let reparsed = parse_program(&printed).expect("pretty output parses");
+        assert_eq!(program, reparsed);
+    }
+
+    #[test]
+    fn roundtrip_with_lemma() {
+        let source = r#"
+            data node { node next; }
+            pred lseg(root, q, n) == root = q & n = 0 or root -> node(p) * lseg(p, q, n - 1);
+            pred cll(root, n) == root -> node(p) * lseg(p, root, n - 1);
+            lemma lseg(a, b, m) * b -> node(a) == cll(a, m + 1);
+            void main(node x)
+              requires cll(x, n) ensures true;
+            { return; }
+        "#;
+        let program = parse_program(source).unwrap();
+        assert_eq!(program.lemmas.len(), 1);
+        let printed = program_str(&program);
+        assert!(printed.contains("lemma "), "lemmas must be rendered");
         let reparsed = parse_program(&printed).expect("pretty output parses");
         assert_eq!(program, reparsed);
     }

@@ -50,6 +50,60 @@ fn saturated(negative: bool) -> Rational {
     }
 }
 
+/// Full 128×128→256-bit unsigned product as `(hi, lo)` limbs, via 64-bit halves.
+fn wide_mul(a: u128, b: u128) -> (u128, u128) {
+    const MASK: u128 = (1u128 << 64) - 1;
+    let (a_hi, a_lo) = (a >> 64, a & MASK);
+    let (b_hi, b_lo) = (b >> 64, b & MASK);
+    let ll = a_lo * b_lo;
+    let lh = a_lo * b_hi;
+    let hl = a_hi * b_lo;
+    let hh = a_hi * b_hi;
+    let mid = (ll >> 64) + (lh & MASK) + (hl & MASK);
+    let lo = (mid << 64) | (ll & MASK);
+    let hi = hh + (lh >> 64) + (hl >> 64) + (mid >> 64);
+    (hi, lo)
+}
+
+/// The exact signed 256-bit product `x * y`, represented as a sign
+/// (`Less`/`Equal`/`Greater` versus zero) and an unsigned magnitude.
+fn signed_product(x: i128, y: i128) -> (Ordering, (u128, u128)) {
+    let sign = if x == 0 || y == 0 {
+        Ordering::Equal
+    } else if (x < 0) != (y < 0) {
+        Ordering::Less
+    } else {
+        Ordering::Greater
+    };
+    (sign, wide_mul(x.unsigned_abs(), y.unsigned_abs()))
+}
+
+/// Orders two signed 256-bit values in the `(sign, magnitude)` representation.
+fn cmp_signed(lhs: (Ordering, (u128, u128)), rhs: (Ordering, (u128, u128))) -> Ordering {
+    match lhs.0.cmp(&rhs.0) {
+        Ordering::Equal => match lhs.0 {
+            Ordering::Equal => Ordering::Equal,
+            Ordering::Greater => lhs.1.cmp(&rhs.1),
+            Ordering::Less => rhs.1.cmp(&lhs.1),
+        },
+        by_sign => by_sign,
+    }
+}
+
+/// The exact sign of the sum of two signed 256-bit values.
+fn sum_sign(lhs: (Ordering, (u128, u128)), rhs: (Ordering, (u128, u128))) -> Ordering {
+    match (lhs.0, rhs.0) {
+        (Ordering::Equal, s) | (s, Ordering::Equal) => s,
+        (a, b) if a == b => a,
+        // Opposite signs: the larger magnitude wins.
+        (a, b) => match lhs.1.cmp(&rhs.1) {
+            Ordering::Greater => a,
+            Ordering::Less => b,
+            Ordering::Equal => Ordering::Equal,
+        },
+    }
+}
+
 /// An exact rational number `num / den` with `den > 0` and `gcd(num, den) = 1`.
 ///
 /// # Examples
@@ -192,7 +246,17 @@ impl Rational {
             let den = self.den.checked_mul(lcm_part)?;
             Some(Rational::new(num, den))
         })();
-        exact.unwrap_or_else(|| saturated(self.to_f64() + other.to_f64() < 0.0))
+        // The sentinel is numerically wrong either way, but its sign must be exact:
+        // a/b + c/d has the sign of a*d + c*b (b, d > 0), computed in 256-bit
+        // arithmetic. An f64 round-trip would misjudge sums whose operands collapse
+        // to the same float (e.g. -1/2^100 + 1/(2^100 + 1)).
+        exact.unwrap_or_else(|| {
+            let sign = sum_sign(
+                signed_product(self.num, other.den),
+                signed_product(other.num, self.den),
+            );
+            saturated(sign == Ordering::Less)
+        })
     }
 
     fn checked_mul(&self, other: &Self) -> Self {
@@ -203,6 +267,9 @@ impl Rational {
             let den = (self.den / g2).checked_mul(other.den / g1)?;
             Some(Rational::new(num, den))
         })();
+        // Sign of a/b * c/d is the sign of a*c — the operand-sign XOR is already
+        // exact on this path (a zero numerator forces den = 1 and cannot
+        // overflow), no widened product needed.
         exact.unwrap_or_else(|| saturated((self.num < 0) != (other.num < 0)))
     }
 }
@@ -295,16 +362,14 @@ impl Ord for Rational {
             other.num.checked_mul(self.den),
         ) {
             (Some(lhs), Some(rhs)) => lhs.cmp(&rhs),
-            // Cross-multiplication overflowed: fall back to a deterministic
-            // approximate order (poisoning the analysis via the overflow counter —
-            // consumers must not base verdicts on it).
-            _ => {
-                record_overflow();
-                self.to_f64()
-                    .partial_cmp(&other.to_f64())
-                    .filter(|o| *o != Ordering::Equal)
-                    .unwrap_or_else(|| (self.num, self.den).cmp(&(other.num, other.den)))
-            }
+            // Cross-multiplication overflowed i128: widen to exact 256-bit
+            // products. The comparison stays exact (no poisoning needed) — only
+            // values *computed through* saturation are untrustworthy, not the
+            // order of representable ones.
+            _ => cmp_signed(
+                signed_product(self.num, other.den),
+                signed_product(other.num, self.den),
+            ),
         }
     }
 }
@@ -414,12 +479,16 @@ mod tests {
     fn near_i128_coefficients_never_panic() {
         let a = Rational::from(i128::MAX - 1);
         let b = Rational::new(1, 3);
+        // The cross-multiplied comparison (MAX - 1) * 3 overflows i128; the widened
+        // 256-bit comparison must order the values exactly, without poisoning.
         let before = overflow_work();
-        // The cross-multiplied comparison (MAX - 1) * 3 overflows i128; the
-        // approximate fall-back must still order the values correctly.
         assert_eq!(a.cmp(&b), Ordering::Greater);
         assert_eq!(b.cmp(&a), Ordering::Less);
-        assert!(overflow_work() > before);
+        assert_eq!(
+            overflow_work(),
+            before,
+            "exact comparisons must not record overflow"
+        );
         // All operators stay total on near-i128 inputs.
         let _ = a + b;
         let _ = a - b;
@@ -427,6 +496,65 @@ mod tests {
         let _ = a / b;
         let _ = a.floor();
         let _ = a.ceil();
+    }
+
+    /// Regression for the saturated-addition sign at the i128 boundary: the two
+    /// operands round to the *same* `f64` magnitude, so the old float round-trip
+    /// (`to_f64() + to_f64() < 0.0`) produced `0.0` and chose the positive
+    /// sentinel regardless of the true sign. The widened-integer sign is exact.
+    #[test]
+    fn saturated_add_sign_is_exact_at_the_i128_boundary() {
+        let big = 1i128 << 100;
+        // -1/2^100 + 1/(2^100 + 1) < 0, but saturates (the common denominator
+        // overflows i128): the sentinel must be negative.
+        let before = overflow_work();
+        let neg = Rational::new(-1, big) + Rational::new(1, big + 1);
+        assert!(neg.is_negative(), "got {neg:?}");
+        // The mirrored sum must saturate positive.
+        let pos = Rational::new(1, big) + Rational::new(-1, big + 1);
+        assert!(pos.is_positive(), "got {pos:?}");
+        assert!(
+            overflow_work() >= before + 2,
+            "both saturated additions must be recorded"
+        );
+        // Near-i128 numerators with opposite signs and a tiny exact difference.
+        let a = Rational::new(i128::MAX - 1, 3);
+        let b = Rational::new(-(i128::MAX - 4), 3);
+        // Exact: (MAX-1)/3 - (MAX-4)/3 = 1 > 0 — no overflow on this path, but the
+        // comparison against the saturated mirror must stay sign-correct too.
+        assert!((a + b).is_positive());
+        assert!((b + (-a)).is_negative());
+    }
+
+    #[test]
+    fn exact_ordering_at_the_i128_boundary() {
+        // a*d and c*b both overflow i128; the exact widened comparison must see
+        // that (MAX-1)/(MAX-2) > (MAX-3)/(MAX-2) ... pick values where the f64
+        // round-trip collapses both sides to the same float.
+        let a = Rational::new(i128::MAX - 1, i128::MAX - 2);
+        let b = Rational::new(i128::MAX - 3, i128::MAX - 2);
+        assert_eq!(a.cmp(&b), Ordering::Greater);
+        assert_eq!(b.cmp(&a), Ordering::Less);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+        assert!(Rational::new(-(i128::MAX - 1), i128::MAX - 2) < b);
+    }
+
+    #[test]
+    fn wide_mul_matches_u128_for_small_operands() {
+        for (a, b) in [
+            (0u128, 7u128),
+            (1 << 64, 1 << 63),
+            (u128::from(u64::MAX), u128::from(u64::MAX)),
+            (123_456_789_000, 987_654_321_000),
+        ] {
+            if let Some(exact) = a.checked_mul(b) {
+                assert_eq!(wide_mul(a, b), (0, exact), "{a} * {b}");
+            }
+        }
+        // 2^64 * 2^64 = 2^128: exactly one in the high limb.
+        assert_eq!(wide_mul(1 << 64, 1 << 64), (1, 0));
+        // (2^128 - 1)^2 = 2^256 - 2^129 + 1.
+        assert_eq!(wide_mul(u128::MAX, u128::MAX), (u128::MAX - 1, 1));
     }
 
     fn small_rational(rng: &mut SmallRng) -> Rational {

@@ -35,7 +35,7 @@ pub use corpora::{
     Suite,
 };
 pub use runner::{
-    run_program, run_program_with, run_suite, run_suite_with, run_suite_with_analysis, Outcome,
-    ProgramReport, SuiteReport,
+    run_program, run_program_with, run_suite, run_suite_session, run_suite_session_with,
+    run_suite_with, run_suite_with_analysis, Outcome, ProgramReport, SuiteReport,
 };
 pub use templates::BenchProgram;

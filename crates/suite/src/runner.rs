@@ -11,14 +11,17 @@
 //! tests can pin per-suite floors that keep the reproduction competitive with
 //! the paper's Fig. 10/11 numbers without ever trading soundness for them.
 //!
-//! Programs are analysed in parallel (the analysis is single-threaded and
-//! deterministic per program, so a parallel run produces byte-identical
-//! reports).
+//! Programs are analysed in parallel through an [`AnalysisSession`] batch (the
+//! analysis is single-threaded and deterministic per program, so a parallel run
+//! produces byte-identical reports), and programs sharing one canonical form are
+//! analysed once and served from the session's cross-program summary cache —
+//! with identical reports either way, which the cache-equivalence tests pin.
 
 use crate::corpora::Suite;
 use crate::templates::Expected;
 use std::fmt;
-use tnt_infer::{analyze_source, InferOptions, Verdict};
+use tnt_infer::session::panic_note;
+use tnt_infer::{analyze_source, AnalysisSession, BatchEntry, InferOptions, Verdict};
 
 /// The scored outcome of analysing one benchmark program.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -175,27 +178,26 @@ pub fn run_program(
     })
 }
 
-/// Renders a caught panic payload as the report's error note.
-fn panic_note(payload: &(dyn std::any::Any + Send)) -> String {
-    let message = payload
-        .downcast_ref::<&str>()
-        .map(|s| s.to_string())
-        .or_else(|| payload.downcast_ref::<String>().cloned())
-        .unwrap_or_else(|| "non-string panic payload".to_string());
-    format!("analysis panicked: {message}")
-}
-
 /// Scores one program with a caller-supplied analysis hook, isolating panics.
+///
+/// A caught panic still accounts for the deterministic work units the analysis
+/// spent before aborting (snapshotting the per-thread counter around the hook),
+/// so suite totals never silently drop the cost of a crashed program.
 pub fn run_program_with(
     name: &str,
     expected: Expected,
     analysis: impl FnOnce() -> (Outcome, u64),
 ) -> ProgramReport {
     let start = std::time::Instant::now();
+    let work_before = tnt_infer::solve::work_units();
     let (outcome, work, note) =
         match std::panic::catch_unwind(std::panic::AssertUnwindSafe(analysis)) {
             Ok((outcome, work)) => (outcome, work, None),
-            Err(payload) => (Outcome::Unknown, 0, Some(panic_note(payload.as_ref()))),
+            Err(payload) => (
+                Outcome::Unknown,
+                tnt_infer::solve::work_units().wrapping_sub(work_before),
+                Some(panic_note(payload.as_ref())),
+            ),
         };
     ProgramReport {
         name: name.to_string(),
@@ -207,20 +209,68 @@ pub fn run_program_with(
     }
 }
 
-/// Runs a whole suite through the analyzer, in parallel across programs.
+/// Runs a whole suite through the analyzer, in parallel across programs, with a
+/// fresh per-call [`AnalysisSession`] (summary cache enabled): programs that
+/// normalise to the same canonical form are analysed once and served from the
+/// cache thereafter.
 ///
 /// The report lists programs in corpus order regardless of scheduling, and the
-/// analysis itself is deterministic per program, so two runs of the same suite
-/// produce identical reports.
+/// analysis itself is deterministic per program, so two runs of the same suite —
+/// with any worker count, cache on or off — produce identical reports (up to the
+/// wall-clock `elapsed` fields).
 pub fn run_suite(suite: &Suite, options: &InferOptions) -> SuiteReport {
-    run_suite_with(suite, options, default_workers())
+    run_suite_session(&AnalysisSession::new(*options), suite)
 }
 
 /// [`run_suite`] with an explicit worker count (`1` forces a sequential run).
 pub fn run_suite_with(suite: &Suite, options: &InferOptions, workers: usize) -> SuiteReport {
-    run_suite_with_analysis(suite, workers, |program| {
-        run_program(&program.name, &program.source, program.expected, options)
-    })
+    run_suite_session_with(&AnalysisSession::new(*options), suite, workers)
+}
+
+/// Runs a suite through a caller-supplied [`AnalysisSession`], so several suites
+/// (or repeated runs) share one cross-program summary cache.
+pub fn run_suite_session(session: &AnalysisSession, suite: &Suite) -> SuiteReport {
+    run_suite_session_with(session, suite, default_workers())
+}
+
+/// [`run_suite_session`] with an explicit worker count.
+pub fn run_suite_session_with(
+    session: &AnalysisSession,
+    suite: &Suite,
+    workers: usize,
+) -> SuiteReport {
+    let sources: Vec<&str> = suite.programs.iter().map(|p| p.source.as_str()).collect();
+    let entries = session.analyze_batch_with(&sources, workers);
+    SuiteReport {
+        suite: suite.category.name().to_string(),
+        programs: suite
+            .programs
+            .iter()
+            .zip(entries)
+            .map(|(program, entry)| score_entry(&program.name, program.expected, entry))
+            .collect(),
+    }
+}
+
+/// Scores one batch entry against its ground truth.
+fn score_entry(name: &str, expected: Expected, entry: BatchEntry) -> ProgramReport {
+    let outcome = match &entry.result {
+        Err(_) => Outcome::Unknown,
+        Ok(result) => match result.program_verdict() {
+            Verdict::Terminating => Outcome::Yes,
+            Verdict::NonTerminating => Outcome::No,
+            Verdict::Unknown if result.stats.budget_exhausted => Outcome::Timeout,
+            Verdict::Unknown => Outcome::Unknown,
+        },
+    };
+    ProgramReport {
+        name: name.to_string(),
+        expected,
+        outcome,
+        elapsed: entry.elapsed,
+        work: entry.work,
+        note: entry.panic_note,
+    }
 }
 
 /// [`run_suite_with`] with a caller-supplied per-program analysis hook (used by
@@ -245,6 +295,12 @@ where
                     return;
                 };
                 // Isolate the hook: a panic becomes an Unknown report with a note.
+                // The work units and wall-clock spent before the abort are still
+                // attributed to the program (the hook runs wholly on this worker
+                // thread, so the per-thread counter snapshot brackets it exactly)
+                // instead of being silently dropped from the suite totals.
+                let start = std::time::Instant::now();
+                let work_before = tnt_infer::solve::work_units();
                 let report =
                     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         analysis(program)
@@ -254,8 +310,8 @@ where
                             name: program.name.clone(),
                             expected: program.expected,
                             outcome: Outcome::Unknown,
-                            elapsed: 0.0,
-                            work: 0,
+                            elapsed: start.elapsed().as_secs_f64(),
+                            work: tnt_infer::solve::work_units().wrapping_sub(work_before),
                             note: Some(panic_note(payload.as_ref())),
                         },
                     };
@@ -280,12 +336,25 @@ where
 }
 
 /// Renders every method summary inferred for every program of a suite, keyed by
-/// `program/method`. Used by the determinism regression test: two runs with the
-/// same corpus seed must produce byte-identical renderings.
+/// `program/method`, through a fresh cache-enabled session. Used by the
+/// determinism regression test: two runs with the same corpus seed must produce
+/// byte-identical renderings.
 pub fn rendered_summaries(suite: &Suite, options: &InferOptions) -> Vec<(String, String)> {
+    rendered_summaries_session(&AnalysisSession::new(*options), suite)
+}
+
+/// [`rendered_summaries`] through a caller-supplied session — the
+/// cache-equivalence gate renders the same suite through a caching and a
+/// non-caching session and asserts byte identity.
+pub fn rendered_summaries_session(
+    session: &AnalysisSession,
+    suite: &Suite,
+) -> Vec<(String, String)> {
+    let sources: Vec<&str> = suite.programs.iter().map(|p| p.source.as_str()).collect();
+    let entries = session.analyze_batch(&sources);
     let mut out = Vec::new();
-    for program in &suite.programs {
-        if let Ok(result) = analyze_source(&program.source, options) {
+    for (program, entry) in suite.programs.iter().zip(entries) {
+        if let Ok(result) = entry.result {
             for (label, summary) in &result.summaries {
                 out.push((format!("{}/{}", program.name, label), summary.render()));
             }
@@ -295,9 +364,7 @@ pub fn rendered_summaries(suite: &Suite, options: &InferOptions) -> Vec<(String,
 }
 
 fn default_workers() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
+    tnt_infer::session::default_workers()
 }
 
 #[cfg(test)]
@@ -391,6 +458,83 @@ mod tests {
         });
         assert_eq!(report.outcome, Outcome::Unknown);
         assert!(report.note.unwrap().contains("kaboom 42"));
+    }
+
+    /// A panic must not zero out the work units the analysis had already spent —
+    /// the pre-abort cost is attributed to the crashing program.
+    #[test]
+    fn caught_panic_still_attributes_spent_work() {
+        let options = InferOptions::default();
+        let program = crate::templates::countdown("t_down", 1);
+        // Reference: how much deterministic work the program costs on its own.
+        let clean = run_program(&program.name, &program.source, program.expected, &options);
+        assert!(clean.work > 0, "countdown must cost some solver work");
+
+        let previous_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        // Hook spends real solver work, then aborts.
+        let report = run_program_with("boom", Expected::Terminating, || {
+            let _ = tnt_infer::analyze_source(&program.source, &options);
+            panic!("after real work");
+        });
+        // Same leak in the suite-level panic isolation path.
+        let suite = tiny_suite();
+        let suite_report = run_suite_with_analysis(&suite, 1, |p| {
+            let _ = tnt_infer::analyze_source(&p.source, &options);
+            panic!("always fails on {}", p.name);
+        });
+        std::panic::set_hook(previous_hook);
+
+        assert_eq!(report.outcome, Outcome::Unknown);
+        assert!(
+            report.work >= clean.work,
+            "work before the abort must be attributed: got {} < {}",
+            report.work,
+            clean.work
+        );
+        for p in &suite_report.programs {
+            assert_eq!(p.outcome, Outcome::Unknown);
+            assert!(p.note.is_some());
+            assert!(
+                p.work > 0,
+                "{}: pre-abort work must reach the suite totals",
+                p.name
+            );
+            assert!(p.elapsed > 0.0, "{}: elapsed must be measured", p.name);
+        }
+    }
+
+    /// A shared session reuses summaries across suites (and across repeated
+    /// runs of the same suite) without changing any report field the scorer
+    /// reads.
+    #[test]
+    fn shared_session_reuses_summaries_without_changing_reports() {
+        let suite = tiny_suite();
+        let session = tnt_infer::AnalysisSession::new(InferOptions::default());
+        let first = run_suite_session_with(&session, &suite, 2);
+        let misses_after_first = session.stats().cache_misses;
+        let second = run_suite_session_with(&session, &suite, 2);
+        let stats = session.stats();
+        assert_eq!(
+            stats.cache_misses, misses_after_first,
+            "second run must be served entirely from the cache"
+        );
+        assert!(stats.cache_hits >= suite.len() as u64);
+        for (a, b) in first.programs.iter().zip(&second.programs) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.outcome, b.outcome);
+            assert_eq!(a.work, b.work);
+        }
+        // And the cached reports agree with a fresh uncached run.
+        let uncached = run_suite_session_with(
+            &tnt_infer::AnalysisSession::without_cache(InferOptions::default()),
+            &suite,
+            2,
+        );
+        for (a, b) in first.programs.iter().zip(&uncached.programs) {
+            assert_eq!(a.outcome, b.outcome);
+            assert_eq!(a.work, b.work);
+        }
     }
 
     #[test]

@@ -6,16 +6,18 @@
 //! ```
 
 use hiptnt::suite::{integer_loops, runner, svcomp_suites};
-use hiptnt::InferOptions;
+use hiptnt::{AnalysisSession, InferOptions};
 use std::time::Instant;
 
 fn main() {
-    let options = InferOptions::default();
+    // One session across all five corpora: template shapes recur between
+    // suites, so the cross-program summary cache keeps every repeat free.
+    let session = AnalysisSession::new(InferOptions::default());
     let start = Instant::now();
     let mut total_unsound = 0;
     for suite in svcomp_suites().into_iter().chain([integer_loops()]) {
         let suite_start = Instant::now();
-        let report = runner::run_suite(&suite, &options);
+        let report = runner::run_suite_session(&session, &suite);
         println!(
             "{}  ({:.0}s)",
             report.render_row(),
@@ -29,10 +31,14 @@ fn main() {
             );
         }
     }
+    let stats = session.stats();
     println!(
-        "total wall-clock {:.0}s, unsound answers {}",
+        "total wall-clock {:.0}s, unsound answers {}, session: {} programs / {} analysed / {} cached",
         start.elapsed().as_secs_f64(),
-        total_unsound
+        total_unsound,
+        stats.programs,
+        stats.cache_misses,
+        stats.cache_hits
     );
     if total_unsound > 0 {
         std::process::exit(1);

@@ -80,7 +80,7 @@ pub use tnt_suite as suite;
 pub use tnt_verify as verify;
 
 pub use tnt_infer::{
-    analyze_program, analyze_source, AnalysisResult, CaseStatus, InferOptions, MethodSummary,
-    Verdict,
+    analyze_program, analyze_source, AnalysisResult, AnalysisSession, BatchEntry, CaseStatus,
+    InferOptions, MethodSummary, SessionStats, Verdict,
 };
 pub use tnt_lang::{frontend, parse_program};

@@ -16,15 +16,26 @@
 //! `SmallRng` seed) end to end and compares the rendered summaries byte for
 //! byte — the regression tripwire for future parallelism/caching work.
 
+use hiptnt::infer::AnalysisSession;
 use hiptnt::suite::{
     crafted, crafted_lit, integer_loops, memory_alloca, numeric, runner, Suite,
 };
 use hiptnt::InferOptions;
+use std::sync::OnceLock;
+
+/// One batch session — one cross-program summary cache — shared by every suite
+/// gate in this binary: the five corpora are template-generated and overlap
+/// heavily (countdown/count-up/gcd shapes recur across suites), so each
+/// canonical program is solved exactly once per test run.
+fn session() -> &'static AnalysisSession {
+    static SESSION: OnceLock<AnalysisSession> = OnceLock::new();
+    SESSION.get_or_init(|| AnalysisSession::new(InferOptions::default()))
+}
 
 /// Runs one suite and enforces the two conformance invariants.
 fn conforms(suite: Suite, precision_floor: f64) {
     let expected_len = suite.len();
-    let report = runner::run_suite(&suite, &InferOptions::default());
+    let report = runner::run_suite_session(session(), &suite);
     assert_eq!(
         report.total(),
         expected_len,
@@ -115,7 +126,9 @@ fn gcd_and_phase_change_templates_answer_term() {
 
 /// Regenerating the `crafted` corpus (fixed `SmallRng` seed) and re-analysing
 /// it must produce byte-identical rendered summaries. Future parallelism or
-/// caching PRs that break run-to-run determinism trip this test.
+/// caching PRs that break run-to-run determinism trip this test. Each call to
+/// `rendered_summaries` builds its own fresh session, so this exercises two
+/// *independent* runs (cold caches), not one cache serving itself.
 #[test]
 fn crafted_suite_is_deterministic_end_to_end() {
     let options = InferOptions::default();
@@ -128,5 +141,32 @@ fn crafted_suite_is_deterministic_end_to_end() {
             summary_a, summary_b,
             "rendered summary of {name_a} differs between identical runs"
         );
+    }
+}
+
+/// The summary cache must be invisible in every observable output: rendered
+/// summaries over the whole `crafted` suite are byte-identical with the cache
+/// enabled and disabled, and the scored reports agree field by field.
+#[test]
+fn crafted_summaries_identical_with_cache_on_and_off() {
+    let options = InferOptions::default();
+    let suite = crafted();
+    let cached = runner::rendered_summaries_session(&AnalysisSession::new(options), &suite);
+    let uncached =
+        runner::rendered_summaries_session(&AnalysisSession::without_cache(options), &suite);
+    assert_eq!(cached.len(), uncached.len());
+    for ((name_a, summary_a), (name_b, summary_b)) in cached.iter().zip(&uncached) {
+        assert_eq!(name_a, name_b, "summary order must be stable");
+        assert_eq!(
+            summary_a, summary_b,
+            "rendered summary of {name_a} differs between cache on and off"
+        );
+    }
+    let with_cache = runner::run_suite_session(&AnalysisSession::new(options), &suite);
+    let without_cache = runner::run_suite_session(&AnalysisSession::without_cache(options), &suite);
+    for (a, b) in with_cache.programs.iter().zip(&without_cache.programs) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.outcome, b.outcome, "{}", a.name);
+        assert_eq!(a.work, b.work, "{}", a.name);
     }
 }

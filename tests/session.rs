@@ -1,0 +1,142 @@
+//! End-to-end gates for the batched analysis session: cross-program summary
+//! reuse must be observationally invisible (same verdicts, same summaries, same
+//! deterministic work accounting), and a poisoned result must stay poisoned
+//! when served from the cache on a different thread.
+
+use hiptnt::infer::session::ProgramKey;
+use hiptnt::infer::AnalysisSession;
+use hiptnt::suite::{crafted, numeric, runner};
+use hiptnt::{InferOptions, Verdict};
+
+/// A program whose coefficients overflow the exact `i128` rational arithmetic
+/// somewhere inside the Farkas/simplex pipeline: the analysis saturates,
+/// records the overflow, and degrades the result to the poisoned
+/// budget-exhausted outcome.
+fn overflowing_source() -> String {
+    let huge = i128::MAX / 2 - 7;
+    let near = i128::MAX / 3 - 11;
+    format!(
+        "void main(int x, int y)\n\
+         {{ while (x > {near}) {{ x = x - {huge}; y = y + {near}; }} }}"
+    )
+}
+
+/// The poison bit lives in the result, not in the thread-local overflow
+/// counter: a cache entry computed (and poisoned) on one thread must still be
+/// poisoned when served on another thread, where that counter never moved.
+#[test]
+fn poisoned_summary_stays_poisoned_when_served_from_cache_on_another_thread() {
+    let source = overflowing_source();
+    let session = AnalysisSession::new(InferOptions::default());
+
+    // Compute (and cache) the poisoned result on a dedicated thread.
+    let first = std::thread::scope(|scope| {
+        scope
+            .spawn(|| session.analyze_source(&source).expect("analysis succeeds"))
+            .join()
+            .expect("no panic")
+    });
+    assert!(
+        first.poisoned,
+        "the overflowing program must poison its analysis"
+    );
+    assert!(first.stats.budget_exhausted);
+    assert_ne!(first.program_verdict(), Verdict::NonTerminating);
+    assert_ne!(first.program_verdict(), Verdict::Terminating);
+
+    // Serve it from the cache on a *different* thread whose own overflow
+    // counter is untouched.
+    let second = std::thread::scope(|scope| {
+        scope
+            .spawn(|| session.analyze_source(&source).expect("analysis succeeds"))
+            .join()
+            .expect("no panic")
+    });
+    let stats = session.stats();
+    assert_eq!(
+        (stats.cache_misses, stats.cache_hits),
+        (1, 1),
+        "the second run must be a pure cache hit"
+    );
+    assert!(
+        second.poisoned,
+        "a poisoned summary must stay poisoned across the cache"
+    );
+    assert!(second.stats.budget_exhausted);
+    assert_eq!(first.program_verdict(), second.program_verdict());
+    // The degraded summaries themselves are identical, byte for byte.
+    let render = |result: &hiptnt::AnalysisResult| {
+        result
+            .summaries
+            .iter()
+            .map(|(label, s)| format!("{label}:{}", s.render()))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(render(&first), render(&second));
+}
+
+/// A healthy program's cache entry is *not* poisoned, even when a poisoned
+/// analysis ran earlier on the same thread (the detector brackets each program).
+#[test]
+fn poison_does_not_leak_into_neighbouring_cache_entries() {
+    let session = AnalysisSession::new(InferOptions::default());
+    let healthy = "void main(int x) { while (x > 0) { x = x - 1; } }";
+    let batch = session.analyze_batch_with(&[&overflowing_source(), healthy], 1);
+    let poisoned = batch[0].result.as_ref().unwrap();
+    let clean = batch[1].result.as_ref().unwrap();
+    assert!(poisoned.poisoned);
+    assert!(!clean.poisoned, "poison must not leak across programs");
+    assert_eq!(clean.program_verdict(), Verdict::Terminating);
+}
+
+/// Suite reports are identical whether the suite is run with the summary cache
+/// enabled, disabled, or through a cache pre-warmed by *another* suite (the
+/// cross-program case: `numeric` and `crafted` share template shapes).
+#[test]
+fn cross_suite_cache_reuse_changes_no_report_field() {
+    let options = InferOptions::default();
+    let reference = runner::run_suite_session(
+        &AnalysisSession::without_cache(options),
+        &crafted(),
+    );
+    let warmed = AnalysisSession::new(options);
+    let _ = runner::run_suite_session(&warmed, &numeric());
+    let misses_before = warmed.stats().cache_misses;
+    let report = runner::run_suite_session(&warmed, &crafted());
+    assert!(
+        warmed.stats().cache_misses - misses_before < crafted().len() as u64,
+        "some crafted programs must be served from the numeric-warmed cache"
+    );
+    for (a, b) in reference.programs.iter().zip(&report.programs) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.outcome, b.outcome, "{}", a.name);
+        assert_eq!(a.work, b.work, "{}", a.name);
+        assert_eq!(a.note, b.note, "{}", a.name);
+    }
+}
+
+/// The cache key is a pure function of the canonical program and the options
+/// fingerprint — textual noise is invisible, semantic changes are not.
+#[test]
+fn cache_keys_follow_canonical_forms() {
+    let options = InferOptions::default();
+    let base = hiptnt::frontend("void main(int x) { while (x > 0) { x = x - 1; } }").unwrap();
+    let spaced =
+        hiptnt::frontend("void  main( int x )\n{ while (x > 0) { x = x - 1; } }").unwrap();
+    let different =
+        hiptnt::frontend("void main(int x) { while (x > 1) { x = x - 1; } }").unwrap();
+    assert_eq!(ProgramKey::of(&base, &options), ProgramKey::of(&spaced, &options));
+    assert_ne!(
+        ProgramKey::of(&base, &options),
+        ProgramKey::of(&different, &options)
+    );
+    let other_options = InferOptions {
+        multiphase: false,
+        ..options
+    };
+    assert_ne!(
+        ProgramKey::of(&base, &options),
+        ProgramKey::of(&base, &other_options)
+    );
+}

@@ -151,10 +151,10 @@ impl PredTable {
                 });
             }
             defs.insert(
-                pred.name.clone(),
+                pred.name.to_string(),
                 PredDef {
-                    name: pred.name.clone(),
-                    params: pred.params.clone(),
+                    name: pred.name.to_string(),
+                    params: pred.params.iter().map(|p| p.to_string()).collect(),
                     branches,
                 },
             );

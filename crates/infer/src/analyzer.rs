@@ -10,7 +10,7 @@ use tnt_verify::hoare::verify_program;
 
 /// Options of the end-to-end analysis (a thin wrapper over [`SolveOptions`], exposed so
 /// the ablation benchmarks can switch individual features off).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct InferOptions {
     /// Maximum number of refinement iterations.
     pub max_iterations: usize,

@@ -8,12 +8,23 @@
 //!
 //! * **Canonical method keys** — every method of a front-end-processed program is
 //!   reduced to its canonical form (the pretty-printed *normalized* AST: loops
-//!   desugared, bodies in ANF), and the program's cache key is the FNV-1a hash of
-//!   those canonical forms together with the [`InferOptions`] fingerprint (the
-//!   option subset that affects inference — see [`InferOptions::fingerprint`]).
-//!   Two textually different sources that normalise to the same program share one
-//!   cache entry; the full canonical text is kept inside the key, so a 64-bit hash
-//!   collision can never serve the summaries of a *different* program.
+//!   desugared, bodies in ANF), and the program's cache key is a 128-bit content
+//!   hash (two independent 64-bit FNV variants, see [`ProgramKey`]) of those
+//!   canonical forms together with the [`InferOptions`] fingerprint (the option
+//!   subset that affects inference — see [`InferOptions::fingerprint`]). Two
+//!   textually different sources that normalise to the same program share one
+//!   cache entry. The key itself is a 16-byte `Copy` value; the full canonical
+//!   text is *not* retained for the life of the entry. Instead each entry keeps
+//!   the text as a **verification guard** until its first cache hit: the hit
+//!   compares the probing program's text against the guard byte-for-byte, then
+//!   drops it. A mismatch would prove a 128-bit collision — the entry is then
+//!   marked conflicted and permanently stops serving or accepting results, so a
+//!   collision degrades to cache misses, never to wrong summaries. In-batch
+//!   de-duplication performs the same textual comparison before merging two
+//!   inputs into one job. (After a guard has been verified and dropped, later
+//!   *inserts* under the same key can no longer be cross-checked; the guard
+//!   window covers the first serve of every entry, which is when an aliased
+//!   result could first leak.)
 //! * **Cross-program summary cache** — a concurrent map from keys to completed
 //!   [`AnalysisResult`]s. Entries carry the whole result, including the
 //!   [`AnalysisResult::poisoned`] bit: a summary degraded by saturated rational
@@ -53,8 +64,8 @@
 //! ```
 
 use crate::analyzer::{analyze_program, AnalysisResult, InferError, InferOptions};
+use std::borrow::Cow;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use tnt_lang::ast::Program;
@@ -102,45 +113,108 @@ pub fn canonical_program(program: &Program) -> String {
     tnt_lang::pretty::program_str(program)
 }
 
-fn fnv1a(text: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in text.bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
-/// A summary-cache key: the canonical program text plus the options fingerprint,
-/// with a precomputed FNV-1a hash. Equality compares the full text, so hash
-/// collisions cannot alias two different programs.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// A summary-cache key: a 128-bit content hash of the canonical program text
+/// plus the options fingerprint. The two halves are the 64-bit FNV-1a
+/// (xor-then-multiply) and FNV-1 (multiply-then-xor) digests of the same byte
+/// stream — independent enough that a simultaneous collision in both is out of
+/// reach for any realistic corpus, and cheap enough to stream in one pass.
+///
+/// The key is 16 bytes and `Copy`; it does **not** retain the keyed text. The
+/// session's cache backs every entry with a one-shot full-text verification
+/// guard (see the [module documentation](self)) so that even a 128-bit
+/// collision degrades to cache misses rather than aliased summaries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct ProgramKey {
-    hash: u64,
-    text: String,
+    fnv1a: u64,
+    fnv1: u64,
 }
 
 impl ProgramKey {
     /// Builds the key of a front-end-processed program under the given options.
     pub fn of(program: &Program, options: &InferOptions) -> ProgramKey {
-        let mut text = canonical_program(program);
-        text.push('\x1f');
-        text.push_str(&options.fingerprint());
-        ProgramKey {
-            hash: fnv1a(&text),
-            text,
-        }
+        ProgramKey::of_keyed_text(&keyed_text(
+            &canonical_program(program),
+            &options.fingerprint(),
+        ))
     }
 
-    /// The precomputed 64-bit hash (exposed for diagnostics).
+    /// Streams both FNV variants over the already-joined keyed text
+    /// (canonical program + `'\x1f'` + options fingerprint).
+    fn of_keyed_text(keyed: &str) -> ProgramKey {
+        let mut a: u64 = FNV_OFFSET;
+        let mut b: u64 = FNV_OFFSET;
+        for byte in keyed.bytes() {
+            let byte = u64::from(byte);
+            a = (a ^ byte).wrapping_mul(FNV_PRIME);
+            b = b.wrapping_mul(FNV_PRIME) ^ byte;
+        }
+        ProgramKey { fnv1a: a, fnv1: b }
+    }
+
+    /// The FNV-1a half of the hash (exposed for diagnostics).
     pub fn hash_value(&self) -> u64 {
-        self.hash
+        self.fnv1a
     }
 }
 
-impl Hash for ProgramKey {
-    fn hash<H: Hasher>(&self, state: &mut H) {
-        self.hash.hash(state);
+/// Joins a canonical program text and an options fingerprint into the byte
+/// stream that is hashed into a [`ProgramKey`] and compared by the cache's
+/// verification guards. `'\x1f'` (ASCII unit separator) cannot occur in either
+/// part, so the join is injective.
+fn keyed_text(canonical: &str, fingerprint: &str) -> String {
+    let mut text = String::with_capacity(canonical.len() + 1 + fingerprint.len());
+    text.push_str(canonical);
+    text.push('\x1f');
+    text.push_str(fingerprint);
+    text
+}
+
+/// One summary-cache entry: the result plus the collision-verification state.
+struct CacheSlot {
+    result: AnalysisResult,
+    /// The full keyed text, retained from insert until the first cache hit
+    /// verifies it byte-for-byte (then dropped to reclaim the memory).
+    guard: Option<Box<str>>,
+    /// Set when a guard comparison failed — a proven 128-bit collision. A
+    /// conflicted slot never serves hits and never accepts new results, so
+    /// both colliding programs are simply re-analysed on every submission.
+    conflicted: bool,
+}
+
+/// A point-in-time snapshot of the summary cache's memory footprint, read via
+/// [`AnalysisSession::cache_memory`].
+///
+/// `inserted_guard_bytes` counts every keyed-text byte ever inserted as a
+/// verification guard — exactly what a scheme that kept the full text inside
+/// each key would hold resident forever. `resident_guard_bytes` is what the
+/// hash-verified scheme actually still holds (guards not yet verified and
+/// dropped), and `key_bytes` is the fixed 16 bytes per entry.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheMemory {
+    /// Live cache entries.
+    pub entries: u64,
+    /// Fixed key storage: 16 bytes per entry.
+    pub key_bytes: u64,
+    /// Verification-guard bytes still resident (not yet verified and dropped).
+    pub resident_guard_bytes: u64,
+    /// Total keyed-text bytes ever inserted as guards — the resident footprint
+    /// the previous full-text-key scheme would have kept.
+    pub inserted_guard_bytes: u64,
+}
+
+impl CacheMemory {
+    /// Bytes currently resident under the hash-verified scheme.
+    pub fn resident_bytes(&self) -> u64 {
+        self.key_bytes + self.resident_guard_bytes
+    }
+
+    /// Bytes the legacy full-text-key scheme would keep resident for the same
+    /// entries (text plus the 8-byte precomputed hash it stored per key).
+    pub fn legacy_resident_bytes(&self) -> u64 {
+        self.inserted_guard_bytes + self.entries * 8
     }
 }
 
@@ -211,12 +285,18 @@ struct JobOutcome {
 /// determinism guarantees.
 pub struct AnalysisSession {
     options: InferOptions,
+    /// [`InferOptions::fingerprint`] of `options`, computed once at
+    /// construction and reused for every key built under the default profile
+    /// (see [`AnalysisSession::fingerprint_for`]).
+    fingerprint: String,
     /// `None` when caching is disabled ([`AnalysisSession::without_cache`]).
-    cache: Option<Mutex<HashMap<ProgramKey, AnalysisResult>>>,
+    cache: Option<Mutex<HashMap<ProgramKey, CacheSlot>>>,
     programs: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     work: AtomicU64,
+    /// Total keyed-text bytes ever inserted as verification guards.
+    guard_bytes: AtomicU64,
 }
 
 impl std::fmt::Debug for AnalysisSession {
@@ -233,12 +313,14 @@ impl AnalysisSession {
     /// A session with the summary cache enabled (the default configuration).
     pub fn new(options: InferOptions) -> AnalysisSession {
         AnalysisSession {
+            fingerprint: options.fingerprint(),
             options,
             cache: Some(Mutex::new(HashMap::new())),
             programs: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             work: AtomicU64::new(0),
+            guard_bytes: AtomicU64::new(0),
         }
     }
 
@@ -271,24 +353,102 @@ impl AnalysisSession {
         }
     }
 
-    fn cache_get(&self, key: &ProgramKey) -> Option<AnalysisResult> {
-        let cache = self.cache.as_ref()?;
-        let guard = match cache.lock() {
-            Ok(guard) => guard,
-            Err(poisoned) => poisoned.into_inner(),
-        };
-        guard.get(key).cloned()
+    /// The options fingerprint for a key: borrowed from the session when the
+    /// options are the session's defaults (the overwhelmingly common case —
+    /// one allocation per session instead of one per program), freshly
+    /// formatted otherwise.
+    fn fingerprint_for<'s>(&'s self, options: &InferOptions) -> Cow<'s, str> {
+        if *options == self.options {
+            Cow::Borrowed(&self.fingerprint)
+        } else {
+            Cow::Owned(options.fingerprint())
+        }
     }
 
-    fn cache_put(&self, key: ProgramKey, result: &AnalysisResult) {
+    /// A snapshot of the summary cache's memory footprint. Zero in every field
+    /// when the cache is disabled.
+    pub fn cache_memory(&self) -> CacheMemory {
+        let Some(cache) = &self.cache else {
+            return CacheMemory::default();
+        };
+        let map = match cache.lock() {
+            Ok(map) => map,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let resident: u64 = map
+            .values()
+            .filter_map(|slot| slot.guard.as_ref())
+            .map(|guard| guard.len() as u64)
+            .sum();
+        CacheMemory {
+            entries: map.len() as u64,
+            key_bytes: map.len() as u64 * std::mem::size_of::<ProgramKey>() as u64,
+            resident_guard_bytes: resident,
+            inserted_guard_bytes: self.guard_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Looks up `key`, verifying the slot's guard (if still present) against
+    /// the probing program's keyed text. The first hit on every entry pays one
+    /// byte-compare and then drops the guard; a mismatch marks the slot
+    /// conflicted and returns a miss.
+    fn cache_get(&self, key: &ProgramKey, keyed: &str) -> Option<AnalysisResult> {
+        let cache = self.cache.as_ref()?;
+        let mut map = match cache.lock() {
+            Ok(map) => map,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let slot = map.get_mut(key)?;
+        if slot.conflicted {
+            return None;
+        }
+        if let Some(guard) = slot.guard.take() {
+            if *guard != *keyed {
+                slot.conflicted = true;
+                return None;
+            }
+            // Verified: the guard is dropped here, reclaiming the text.
+        }
+        Some(slot.result.clone())
+    }
+
+    /// Inserts a result. `verified` marks the entry's text as already
+    /// independently confirmed (an in-batch duplicate byte-compared its full
+    /// text against this job's), in which case no guard needs to be retained;
+    /// otherwise the keyed text is kept as the entry's verification guard
+    /// until the first cache hit checks it.
+    fn cache_put(&self, key: ProgramKey, keyed: &str, result: &AnalysisResult, verified: bool) {
         if let Some(cache) = &self.cache {
-            let mut guard = match cache.lock() {
-                Ok(guard) => guard,
+            let mut map = match cache.lock() {
+                Ok(map) => map,
                 Err(poisoned) => poisoned.into_inner(),
             };
-            // Concurrent computations of the same key insert identical values
-            // (the analysis is deterministic), so last-write-wins is harmless.
-            guard.insert(key, result.clone());
+            match map.entry(key) {
+                std::collections::hash_map::Entry::Vacant(entry) => {
+                    // Counted for every entry regardless of `verified`: this
+                    // is the resident footprint the legacy full-text-key
+                    // scheme would have kept.
+                    self.guard_bytes
+                        .fetch_add(keyed.len() as u64, Ordering::Relaxed);
+                    entry.insert(CacheSlot {
+                        result: result.clone(),
+                        guard: (!verified).then(|| keyed.into()),
+                        conflicted: false,
+                    });
+                }
+                std::collections::hash_map::Entry::Occupied(mut entry) => {
+                    // A conflicted slot accepts nothing further. A guard
+                    // mismatch is an insert-time collision: poison the slot
+                    // instead of letting either program serve the other. On a
+                    // match (or an already-dropped guard) the existing result
+                    // is kept — concurrent computations of the same program
+                    // insert identical values (the analysis is deterministic).
+                    let slot = entry.get_mut();
+                    if !slot.conflicted && slot.guard.as_deref().is_some_and(|g| g != keyed) {
+                        slot.conflicted = true;
+                    }
+                }
+            }
         }
     }
 
@@ -317,11 +477,12 @@ impl AnalysisSession {
         options: &InferOptions,
     ) -> Result<AnalysisResult, InferError> {
         self.programs.fetch_add(1, Ordering::Relaxed);
-        let key = self
-            .cache_enabled()
-            .then(|| ProgramKey::of(program, options));
-        if let Some(key) = &key {
-            if let Some(hit) = self.cache_get(key) {
+        let keyed = self.cache_enabled().then(|| {
+            let keyed = keyed_text(&canonical_program(program), &self.fingerprint_for(options));
+            (ProgramKey::of_keyed_text(&keyed), keyed)
+        });
+        if let Some((key, keyed)) = &keyed {
+            if let Some(hit) = self.cache_get(key, keyed) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(hit);
             }
@@ -335,8 +496,8 @@ impl AnalysisSession {
             crate::solve::work_units().wrapping_sub(work_before),
             Ordering::Relaxed,
         );
-        if let (Some(key), Ok(result)) = (key, &result) {
-            self.cache_put(key, result);
+        if let (Some((key, keyed)), Ok(result)) = (&keyed, &result) {
+            self.cache_put(*key, keyed, result, false);
         }
         result
     }
@@ -383,7 +544,9 @@ impl AnalysisSession {
     pub fn analyze_batch_with(&self, sources: &[&str], workers: usize) -> Vec<BatchEntry> {
         struct Job {
             program: Program,
-            key: Option<ProgramKey>,
+            /// The key and its full keyed text (for guard verification),
+            /// `None` when the cache is disabled.
+            key: Option<(ProgramKey, String)>,
             /// Input indices served by this job (first = the computing one).
             targets: Vec<usize>,
         }
@@ -402,13 +565,23 @@ impl AnalysisSession {
                 }
             };
             if self.cache_enabled() {
-                let key = ProgramKey::of(&program, &self.options);
-                if let Some(job_index) = job_of_key.get(&key) {
-                    // De-duplicated within this batch: served once the job ran.
-                    jobs[*job_index].targets.push(index);
-                    continue;
-                }
-                if let Some(hit) = self.cache_get(&key) {
+                let keyed = keyed_text(&canonical_program(&program), &self.fingerprint);
+                let key = ProgramKey::of_keyed_text(&keyed);
+                if let Some(&job_index) = job_of_key.get(&key) {
+                    // De-duplicated within this batch — but only after the
+                    // same full-text comparison the cache guards perform, so
+                    // a key collision inside one batch cannot alias either.
+                    let same_text = jobs[job_index]
+                        .key
+                        .as_ref()
+                        .is_some_and(|(_, text)| *text == keyed);
+                    if same_text {
+                        jobs[job_index].targets.push(index);
+                        continue;
+                    }
+                    // Colliding text: analyse it as its own (unregistered)
+                    // job; the publish step will poison the shared slot.
+                } else if let Some(hit) = self.cache_get(&key, &keyed) {
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     entries[index] = Some(BatchEntry {
                         panic_note: None,
@@ -418,11 +591,12 @@ impl AnalysisSession {
                         result: Ok(hit),
                     });
                     continue;
+                } else {
+                    job_of_key.insert(key, jobs.len());
                 }
-                job_of_key.insert(key.clone(), jobs.len());
                 jobs.push(Job {
                     program,
-                    key: Some(key),
+                    key: Some((key, keyed)),
                     targets: vec![index],
                 });
             } else {
@@ -464,8 +638,11 @@ impl AnalysisSession {
         // Publish results to the cache and fan out to the duplicate inputs.
         for (job, outcome) in jobs.iter().zip(outcomes) {
             let outcome = outcome.expect("every job index was processed");
-            if let (Some(key), Ok(result)) = (&job.key, &outcome.result) {
-                self.cache_put(key.clone(), result);
+            if let (Some((key, keyed)), Ok(result)) = (&job.key, &outcome.result) {
+                // A de-duplicated job's text was byte-compared against every
+                // duplicate submission — an independent confirmation, so the
+                // entry starts verified and retains no guard.
+                self.cache_put(*key, keyed, result, job.targets.len() > 1);
             }
             let repeats = job.targets.len().saturating_sub(1) as u64;
             self.hits.fetch_add(repeats, Ordering::Relaxed);
@@ -650,6 +827,109 @@ void main(node x) requires cll(x, n) ensures true; { return; }";
             ProgramKey::of(&program, &options),
             ProgramKey::of(&stripped, &options)
         );
+    }
+
+    #[test]
+    fn forged_key_collision_never_aliases() {
+        let session = AnalysisSession::new(InferOptions::default());
+        let result = session.analyze_source(COUNTDOWN).unwrap();
+        // A genuine simultaneous FNV-1a + FNV-1 collision cannot be crafted,
+        // so forge one: file two distinct keyed texts under the same key via
+        // the verification seams the real paths go through.
+        let key = ProgramKey::of_keyed_text("canonical text A");
+        session.cache_put(key, "canonical text A", &result, false);
+        // A probe with the colliding text must be refused (not served A's
+        // result)…
+        assert!(session.cache_get(&key, "canonical text B").is_none());
+        // …and the conflicted slot is permanently dead, even for the original
+        // text and for later inserts.
+        assert!(session.cache_get(&key, "canonical text A").is_none());
+        session.cache_put(key, "canonical text B", &result, false);
+        assert!(session.cache_get(&key, "canonical text B").is_none());
+    }
+
+    #[test]
+    fn a_64_bit_half_collision_does_not_alias() {
+        // Two keys that collide in the FNV-1a half but differ in the FNV-1
+        // half — the crafted 64-bit collision that would have aliased the old
+        // single-hash scheme. They are distinct 128-bit keys, so the cache
+        // keeps their entries fully separate.
+        let a = ProgramKey {
+            fnv1a: 0xdead_beef,
+            fnv1: 1,
+        };
+        let b = ProgramKey {
+            fnv1a: 0xdead_beef,
+            fnv1: 2,
+        };
+        assert_eq!(a.hash_value(), b.hash_value());
+        assert_ne!(a, b);
+        let session = AnalysisSession::new(InferOptions::default());
+        let term = session.analyze_source(COUNTDOWN).unwrap();
+        let div = session.analyze_source(DIVERGING).unwrap();
+        session.cache_put(a, "canonical text A", &term, false);
+        session.cache_put(b, "canonical text B", &div, false);
+        let got_a = session.cache_get(&a, "canonical text A").unwrap();
+        let got_b = session.cache_get(&b, "canonical text B").unwrap();
+        assert_eq!(got_a.program_verdict(), term.program_verdict());
+        assert_eq!(got_b.program_verdict(), div.program_verdict());
+        assert_ne!(got_a.program_verdict(), got_b.program_verdict());
+    }
+
+    #[test]
+    fn insert_time_collision_poisons_the_slot() {
+        let session = AnalysisSession::new(InferOptions::default());
+        let result = session.analyze_source(COUNTDOWN).unwrap();
+        let key = ProgramKey::of_keyed_text("canonical text A");
+        session.cache_put(key, "canonical text A", &result, false);
+        session.cache_put(key, "canonical text B", &result, false);
+        assert!(session.cache_get(&key, "canonical text A").is_none());
+        assert!(session.cache_get(&key, "canonical text B").is_none());
+    }
+
+    #[test]
+    fn guards_are_dropped_after_first_verified_hit() {
+        let session = AnalysisSession::new(InferOptions::default());
+        session.analyze_source(COUNTDOWN).unwrap();
+        let before = session.cache_memory();
+        assert_eq!(before.entries, 1);
+        assert!(before.resident_guard_bytes > 0);
+        assert_eq!(before.resident_guard_bytes, before.inserted_guard_bytes);
+        // The first hit verifies the guard byte-for-byte, then drops it.
+        session.analyze_source(COUNTDOWN_WS).unwrap();
+        let after = session.cache_memory();
+        assert_eq!(session.stats().cache_hits, 1);
+        assert_eq!(after.resident_guard_bytes, 0);
+        assert_eq!(after.inserted_guard_bytes, before.inserted_guard_bytes);
+        assert_eq!(after.resident_bytes(), 16, "one bare 16-byte key remains");
+        assert!(after.legacy_resident_bytes() > after.resident_bytes());
+    }
+
+    #[test]
+    fn keys_are_order_sensitive_content_hashes() {
+        let a = ProgramKey::of_keyed_text("alpha");
+        let b = ProgramKey::of_keyed_text("beta");
+        assert_ne!(a, b);
+        assert_ne!(a.hash_value(), b.hash_value());
+        assert_eq!(a, ProgramKey::of_keyed_text("alpha"));
+        // The two FNV halves differ even on equal input (different mixing
+        // order), so neither half is redundant.
+        assert_ne!(a.fnv1a, a.fnv1);
+    }
+
+    #[test]
+    fn default_profile_fingerprint_is_reused_not_reformatted() {
+        let options = InferOptions::default();
+        let session = AnalysisSession::new(options);
+        match session.fingerprint_for(&options) {
+            Cow::Borrowed(cached) => assert_eq!(cached, options.fingerprint()),
+            Cow::Owned(_) => panic!("default profile must borrow the cached fingerprint"),
+        }
+        let other = InferOptions {
+            validate: false,
+            ..InferOptions::default()
+        };
+        assert!(matches!(session.fingerprint_for(&other), Cow::Owned(_)));
     }
 
     #[test]

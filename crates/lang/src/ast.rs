@@ -3,6 +3,7 @@
 //! benchmarks rely on and which are desugared / normalised before verification).
 
 use crate::spec::Spec;
+use crate::symbol::Symbol;
 
 /// Types of the core language.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -14,7 +15,7 @@ pub enum Type {
     /// No value (method return type only).
     Void,
     /// A declared data (record) type, e.g. `node`.
-    Data(String),
+    Data(Symbol),
 }
 
 impl Type {
@@ -90,24 +91,24 @@ pub enum Expr {
     /// The null reference.
     Null,
     /// Variable read (also used for the special result variable `res` in specs).
-    Var(String),
+    Var(Symbol),
     /// Field read `v.f`.
-    Field(String, String),
+    Field(Symbol, Symbol),
     /// Unary operation.
     Unary(UnOp, Box<Expr>),
     /// Binary operation.
     Binary(BinOp, Box<Expr>, Box<Expr>),
     /// Method call `mn(e₁, …, eₙ)`.
-    Call(String, Vec<Expr>),
+    Call(Symbol, Vec<Expr>),
     /// Allocation `new c(e₁, …, eₙ)`.
-    New(String, Vec<Expr>),
+    New(Symbol, Vec<Expr>),
     /// A non-deterministic integer (SV-COMP's `__VERIFIER_nondet_int`).
     Nondet,
 }
 
 impl Expr {
     /// Variable expression helper.
-    pub fn var(name: impl Into<String>) -> Expr {
+    pub fn var(name: impl Into<Symbol>) -> Expr {
         Expr::Var(name.into())
     }
 
@@ -122,7 +123,7 @@ impl Expr {
     }
 
     /// Call helper.
-    pub fn call(name: impl Into<String>, args: Vec<Expr>) -> Expr {
+    pub fn call(name: impl Into<Symbol>, args: Vec<Expr>) -> Expr {
         Expr::Call(name.into(), args)
     }
 
@@ -160,15 +161,15 @@ impl Expr {
     }
 
     /// Collects the variables read by the expression into `out`.
-    pub fn collect_vars(&self, out: &mut Vec<String>) {
+    pub fn collect_vars(&self, out: &mut Vec<Symbol>) {
         match self {
             Expr::Var(v)
                 if !out.contains(v) => {
-                    out.push(v.clone());
+                    out.push(*v);
                 }
             Expr::Field(v, _)
                 if !out.contains(v) => {
-                    out.push(v.clone());
+                    out.push(*v);
                 }
             Expr::Unary(_, e) => e.collect_vars(out),
             Expr::Binary(_, a, b) => {
@@ -189,11 +190,11 @@ impl Expr {
 #[derive(Clone, Debug, PartialEq)]
 pub enum Stmt {
     /// Local variable declaration with optional initialiser: `t v;` or `t v = e;`.
-    VarDecl(Type, String, Option<Expr>),
+    VarDecl(Type, Symbol, Option<Expr>),
     /// Assignment `v = e;`.
-    Assign(String, Expr),
+    Assign(Symbol, Expr),
     /// Field assignment `v.f = e;`.
-    FieldAssign(String, String, Expr),
+    FieldAssign(Symbol, Symbol, Expr),
     /// Conditional.
     If(Expr, Block, Block),
     /// While loop (desugared to a tail-recursive method before verification).
@@ -233,14 +234,14 @@ pub struct Param {
     /// Parameter type.
     pub ty: Type,
     /// Parameter name.
-    pub name: String,
+    pub name: Symbol,
     /// Pass-by-reference flag (used by the loop desugaring; Fig. 5's `[ref]`).
     pub by_ref: bool,
 }
 
 impl Param {
     /// Creates a by-value parameter.
-    pub fn new(ty: Type, name: impl Into<String>) -> Self {
+    pub fn new(ty: Type, name: impl Into<Symbol>) -> Self {
         Param {
             ty,
             name: name.into(),
@@ -249,7 +250,7 @@ impl Param {
     }
 
     /// Creates a by-reference parameter.
-    pub fn by_ref(ty: Type, name: impl Into<String>) -> Self {
+    pub fn by_ref(ty: Type, name: impl Into<Symbol>) -> Self {
         Param {
             ty,
             name: name.into(),
@@ -262,9 +263,9 @@ impl Param {
 #[derive(Clone, Debug, PartialEq)]
 pub struct DataDecl {
     /// Type name.
-    pub name: String,
+    pub name: Symbol,
     /// Field declarations in order.
-    pub fields: Vec<(Type, String)>,
+    pub fields: Vec<(Type, Symbol)>,
 }
 
 /// A heap-predicate declaration, e.g. `pred lseg(root, q, n) == ... ;`.
@@ -274,9 +275,9 @@ pub struct DataDecl {
 #[derive(Clone, Debug, PartialEq)]
 pub struct PredDecl {
     /// Predicate name.
-    pub name: String,
+    pub name: Symbol,
     /// Formal parameters (the first one is conventionally the root pointer).
-    pub params: Vec<String>,
+    pub params: Vec<Symbol>,
     /// Disjuncts: each is a pair of heap formula and pure condition.
     pub branches: Vec<(crate::spec::HeapFormula, Expr)>,
 }
@@ -299,7 +300,7 @@ pub struct MethodDecl {
     /// Return type.
     pub ret: Type,
     /// Method name.
-    pub name: String,
+    pub name: Symbol,
     /// Formal parameters.
     pub params: Vec<Param>,
     /// Specification (possibly several `requires/ensures` pairs or a `case` spec).
@@ -310,17 +311,17 @@ pub struct MethodDecl {
 
 impl MethodDecl {
     /// Names of the integer-typed parameters (the ones the temporal predicates range over).
-    pub fn int_params(&self) -> Vec<String> {
+    pub fn int_params(&self) -> Vec<Symbol> {
         self.params
             .iter()
             .filter(|p| p.ty == Type::Int)
-            .map(|p| p.name.clone())
+            .map(|p| p.name)
             .collect()
     }
 
     /// Names of all parameters.
-    pub fn param_names(&self) -> Vec<String> {
-        self.params.iter().map(|p| p.name.clone()).collect()
+    pub fn param_names(&self) -> Vec<Symbol> {
+        self.params.iter().map(|p| p.name).collect()
     }
 }
 
@@ -354,13 +355,13 @@ impl Program {
     }
 
     /// Names of the methods called (directly) by the given method body.
-    pub fn callees(&self, method: &MethodDecl) -> Vec<String> {
-        fn stmt_calls(stmt: &Stmt, out: &mut Vec<String>) {
-            fn expr_calls(expr: &Expr, out: &mut Vec<String>) {
+    pub fn callees(&self, method: &MethodDecl) -> Vec<Symbol> {
+        fn stmt_calls(stmt: &Stmt, out: &mut Vec<Symbol>) {
+            fn expr_calls(expr: &Expr, out: &mut Vec<Symbol>) {
                 match expr {
                     Expr::Call(name, args) => {
                         if !out.contains(name) {
-                            out.push(name.clone());
+                            out.push(*name);
                         }
                         for a in args {
                             expr_calls(a, out);
@@ -427,7 +428,7 @@ mod tests {
         assert!(call.has_call());
         let nd = Expr::bin(BinOp::Add, Expr::Nondet, Expr::int(0));
         assert!(nd.has_nondet());
-        let heap = Expr::Field("p".to_string(), "next".to_string());
+        let heap = Expr::Field("p".into(), "next".into());
         assert!(heap.has_heap_access());
     }
 
@@ -447,7 +448,7 @@ mod tests {
     fn program_lookup_and_callees() {
         let method = MethodDecl {
             ret: Type::Void,
-            name: "foo".to_string(),
+            name: "foo".into(),
             params: vec![Param::new(Type::Int, "x"), Param::new(Type::Int, "y")],
             spec: None,
             body: Some(Block::new(vec![Stmt::If(

@@ -11,10 +11,10 @@ use crate::spec::{Ensures, HeapFormula, Requires, Spec, SpecPair, TemporalSpec};
 pub fn int_method(name: &str, params: &[&str], ret: Type, body: Vec<Stmt>) -> MethodDecl {
     MethodDecl {
         ret,
-        name: name.to_string(),
+        name: name.into(),
         params: params
             .iter()
-            .map(|p| Param::new(Type::Int, p.to_string()))
+            .map(|p| Param::new(Type::Int, *p))
             .collect(),
         spec: None,
         body: Some(Block::new(body)),

@@ -21,6 +21,7 @@
 //! `tnt-suite` avoid the pattern where it would change the caller's behaviour.
 
 use crate::ast::{Block, Expr, MethodDecl, Param, Program, Stmt, Type};
+use crate::symbol::Symbol;
 use std::collections::HashMap;
 
 /// Desugars every while loop in the program into a tail-recursive method.
@@ -30,13 +31,13 @@ pub fn desugar_loops(program: &Program) -> Program {
     for method in &mut out.methods {
         if let Some(body) = method.body.clone() {
             let mut ctx = DesugarCtx {
-                method_name: method.name.clone(),
+                method_name: method.name,
                 counter: 0,
                 generated: &mut generated,
                 scope: method
                     .params
                     .iter()
-                    .map(|p| (p.name.clone(), p.ty.clone()))
+                    .map(|p| (p.name, p.ty.clone()))
                     .collect(),
             };
             let new_body = ctx.block(&body);
@@ -48,10 +49,10 @@ pub fn desugar_loops(program: &Program) -> Program {
 }
 
 struct DesugarCtx<'a> {
-    method_name: String,
+    method_name: Symbol,
     counter: usize,
     generated: &'a mut Vec<MethodDecl>,
-    scope: HashMap<String, Type>,
+    scope: HashMap<Symbol, Type>,
 }
 
 impl DesugarCtx<'_> {
@@ -68,15 +69,16 @@ impl DesugarCtx<'_> {
     fn stmt(&mut self, stmt: &Stmt) -> Stmt {
         match stmt {
             Stmt::VarDecl(ty, name, init) => {
-                self.scope.insert(name.clone(), ty.clone());
-                Stmt::VarDecl(ty.clone(), name.clone(), init.clone())
+                self.scope.insert(*name, ty.clone());
+                Stmt::VarDecl(ty.clone(), *name, init.clone())
             }
             Stmt::If(cond, then_block, else_block) => {
                 Stmt::If(cond.clone(), self.block(then_block), self.block(else_block))
             }
             Stmt::While(cond, body) => {
                 self.counter += 1;
-                let loop_name = format!("{}_loop{}", self.method_name, self.counter);
+                let loop_name =
+                    Symbol::from(format!("{}_loop{}", self.method_name, self.counter));
 
                 // The loop method parameters: every in-scope variable mentioned by the
                 // condition or the body, in deterministic order.
@@ -88,7 +90,7 @@ impl DesugarCtx<'_> {
                     if let Some(ty) = self.scope.get(name) {
                         params.push(Param {
                             ty: ty.clone(),
-                            name: name.clone(),
+                            name: *name,
                             by_ref: true,
                         });
                     }
@@ -99,8 +101,8 @@ impl DesugarCtx<'_> {
                 let desugared_body = self.block(body);
 
                 let recursive_call = Stmt::ExprStmt(Expr::Call(
-                    loop_name.clone(),
-                    params.iter().map(|p| Expr::Var(p.name.clone())).collect(),
+                    loop_name,
+                    params.iter().map(|p| Expr::Var(p.name)).collect(),
                 ));
                 let mut then_stmts = desugared_body.stmts;
                 then_stmts.push(recursive_call);
@@ -111,7 +113,7 @@ impl DesugarCtx<'_> {
                 )]);
                 self.generated.push(MethodDecl {
                     ret: Type::Void,
-                    name: loop_name.clone(),
+                    name: loop_name,
                     params: params.clone(),
                     spec: None,
                     body: Some(loop_body),
@@ -119,7 +121,7 @@ impl DesugarCtx<'_> {
 
                 Stmt::ExprStmt(Expr::Call(
                     loop_name,
-                    params.iter().map(|p| Expr::Var(p.name.clone())).collect(),
+                    params.iter().map(|p| Expr::Var(p.name)).collect(),
                 ))
             }
             other => other.clone(),
@@ -127,16 +129,16 @@ impl DesugarCtx<'_> {
     }
 }
 
-fn collect_block_vars(block: &Block, out: &mut Vec<String>) {
+fn collect_block_vars(block: &Block, out: &mut Vec<Symbol>) {
     for stmt in &block.stmts {
         collect_stmt_vars(stmt, out);
     }
 }
 
-fn collect_stmt_vars(stmt: &Stmt, out: &mut Vec<String>) {
-    let mut push = |name: &String| {
+fn collect_stmt_vars(stmt: &Stmt, out: &mut Vec<Symbol>) {
+    let mut push = |name: &Symbol| {
         if !out.contains(name) {
-            out.push(name.clone());
+            out.push(*name);
         }
     };
     match stmt {

@@ -45,9 +45,11 @@ pub mod parser;
 pub mod pretty;
 pub mod pure;
 pub mod spec;
+pub mod symbol;
 pub mod typecheck;
 
 pub use ast::{BinOp, Block, DataDecl, Expr, MethodDecl, Param, Program, Stmt, Type, UnOp};
+pub use symbol::Symbol;
 pub use parser::{parse_program, ParseError};
 pub use spec::{Ensures, HeapFormula, Requires, Spec, SpecPair, TemporalSpec};
 

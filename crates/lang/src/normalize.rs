@@ -16,17 +16,18 @@
 //! is evaluated exactly once per method invocation and hoisting is sound.
 
 use crate::ast::{Block, Expr, Program, Stmt, Type};
+use crate::symbol::Symbol;
 use std::collections::HashMap;
 
 /// Normalises every method body in the program into A-normal form.
 pub fn normalize_program(program: &Program) -> Program {
     let mut out = program.clone();
-    let signatures: HashMap<String, (Vec<Type>, Type)> = program
+    let signatures: HashMap<Symbol, (Vec<Type>, Type)> = program
         .methods
         .iter()
         .map(|m| {
             (
-                m.name.clone(),
+                m.name,
                 (
                     m.params.iter().map(|p| p.ty.clone()).collect(),
                     m.ret.clone(),
@@ -34,13 +35,13 @@ pub fn normalize_program(program: &Program) -> Program {
             )
         })
         .collect();
-    let fields: HashMap<(String, String), Type> = program
+    let fields: HashMap<(Symbol, Symbol), Type> = program
         .datas
         .iter()
         .flat_map(|d| {
             d.fields
                 .iter()
-                .map(move |(ty, f)| ((d.name.clone(), f.clone()), ty.clone()))
+                .map(move |(ty, f)| ((d.name, *f), ty.clone()))
         })
         .collect();
     for method in &mut out.methods {
@@ -51,7 +52,7 @@ pub fn normalize_program(program: &Program) -> Program {
                 vars: method
                     .params
                     .iter()
-                    .map(|p| (p.name.clone(), p.ty.clone()))
+                    .map(|p| (p.name, p.ty.clone()))
                     .collect(),
                 counter: 0,
             };
@@ -62,16 +63,16 @@ pub fn normalize_program(program: &Program) -> Program {
 }
 
 struct NormCtx<'a> {
-    signatures: &'a HashMap<String, (Vec<Type>, Type)>,
-    fields: &'a HashMap<(String, String), Type>,
-    vars: HashMap<String, Type>,
+    signatures: &'a HashMap<Symbol, (Vec<Type>, Type)>,
+    fields: &'a HashMap<(Symbol, Symbol), Type>,
+    vars: HashMap<Symbol, Type>,
     counter: usize,
 }
 
 impl NormCtx<'_> {
-    fn fresh(&mut self) -> String {
+    fn fresh(&mut self) -> Symbol {
         self.counter += 1;
-        format!("_t{}", self.counter)
+        Symbol::from(format!("_t{}", self.counter))
     }
 
     fn block(&mut self, block: &Block) -> Block {
@@ -88,22 +89,22 @@ impl NormCtx<'_> {
         match stmt {
             Stmt::Skip => out.push(Stmt::Skip),
             Stmt::VarDecl(ty, name, init) => {
-                self.vars.insert(name.clone(), ty.clone());
+                self.vars.insert(*name, ty.clone());
                 match init {
-                    None => out.push(Stmt::VarDecl(ty.clone(), name.clone(), None)),
+                    None => out.push(Stmt::VarDecl(ty.clone(), *name, None)),
                     Some(init) => {
                         let value = self.rhs(init, out);
-                        out.push(Stmt::VarDecl(ty.clone(), name.clone(), Some(value)));
+                        out.push(Stmt::VarDecl(ty.clone(), *name, Some(value)));
                     }
                 }
             }
             Stmt::Assign(name, value) => {
                 let value = self.rhs(value, out);
-                out.push(Stmt::Assign(name.clone(), value));
+                out.push(Stmt::Assign(*name, value));
             }
             Stmt::FieldAssign(base, field, value) => {
                 let value = self.pure(value, out);
-                out.push(Stmt::FieldAssign(base.clone(), field.clone(), value));
+                out.push(Stmt::FieldAssign(*base, *field, value));
             }
             Stmt::If(cond, then_block, else_block) => {
                 let cond = self.pure(cond, out);
@@ -129,7 +130,7 @@ impl NormCtx<'_> {
             Stmt::ExprStmt(expr) => match expr {
                 Expr::Call(name, args) => {
                     let args = args.iter().map(|a| self.pure(a, out)).collect();
-                    out.push(Stmt::ExprStmt(Expr::Call(name.clone(), args)));
+                    out.push(Stmt::ExprStmt(Expr::Call(*name, args)));
                 }
                 other => {
                     let value = self.pure(other, out);
@@ -149,11 +150,11 @@ impl NormCtx<'_> {
         match expr {
             Expr::Call(name, args) => {
                 let args = args.iter().map(|a| self.pure(a, out)).collect();
-                Expr::Call(name.clone(), args)
+                Expr::Call(*name, args)
             }
             Expr::New(data, args) => {
                 let args = args.iter().map(|a| self.pure(a, out)).collect();
-                Expr::New(data.clone(), args)
+                Expr::New(*data, args)
             }
             Expr::Field(..) | Expr::Nondet => expr.clone(),
             other => self.pure(other, out),
@@ -179,22 +180,22 @@ impl NormCtx<'_> {
                     .map(|(_, ret)| ret.clone())
                     .unwrap_or(Type::Int);
                 let temp = self.fresh();
-                self.vars.insert(temp.clone(), ret.clone());
+                self.vars.insert(temp, ret.clone());
                 out.push(Stmt::VarDecl(
                     ret,
-                    temp.clone(),
-                    Some(Expr::Call(name.clone(), args)),
+                    temp,
+                    Some(Expr::Call(*name, args)),
                 ));
                 Expr::Var(temp)
             }
             Expr::New(data, args) => {
                 let args: Vec<Expr> = args.iter().map(|a| self.pure(a, out)).collect();
                 let temp = self.fresh();
-                self.vars.insert(temp.clone(), Type::Data(data.clone()));
+                self.vars.insert(temp, Type::Data(*data));
                 out.push(Stmt::VarDecl(
-                    Type::Data(data.clone()),
-                    temp.clone(),
-                    Some(Expr::New(data.clone(), args)),
+                    Type::Data(*data),
+                    temp,
+                    Some(Expr::New(*data, args)),
                 ));
                 Expr::Var(temp)
             }
@@ -203,24 +204,24 @@ impl NormCtx<'_> {
                 let field_ty = match base_ty {
                     Some(Type::Data(data)) => self
                         .fields
-                        .get(&(data, field.clone()))
+                        .get(&(data, *field))
                         .cloned()
                         .unwrap_or(Type::Int),
                     _ => Type::Int,
                 };
                 let temp = self.fresh();
-                self.vars.insert(temp.clone(), field_ty.clone());
+                self.vars.insert(temp, field_ty.clone());
                 out.push(Stmt::VarDecl(
                     field_ty,
-                    temp.clone(),
-                    Some(Expr::Field(base.clone(), field.clone())),
+                    temp,
+                    Some(Expr::Field(*base, *field)),
                 ));
                 Expr::Var(temp)
             }
             Expr::Nondet => {
                 let temp = self.fresh();
-                self.vars.insert(temp.clone(), Type::Int);
-                out.push(Stmt::VarDecl(Type::Int, temp.clone(), Some(Expr::Nondet)));
+                self.vars.insert(temp, Type::Int);
+                out.push(Stmt::VarDecl(Type::Int, temp, Some(Expr::Nondet)));
                 Expr::Var(temp)
             }
         }

@@ -155,10 +155,13 @@ impl Parser {
             let ty = self.parse_type()?;
             let field = self.eat_ident()?;
             self.expect(Token::Semi)?;
-            fields.push((ty, field));
+            fields.push((ty, field.into()));
         }
         self.expect(Token::RBrace)?;
-        Ok(DataDecl { name, fields })
+        Ok(DataDecl {
+            name: name.into(),
+            fields,
+        })
     }
 
     fn pred_decl(&mut self) -> Result<PredDecl, ParseError> {
@@ -167,7 +170,7 @@ impl Parser {
         self.expect(Token::LParen)?;
         let mut params = Vec::new();
         while *self.peek() != Token::RParen {
-            params.push(self.eat_ident()?);
+            params.push(self.eat_ident()?.into());
             if *self.peek() == Token::Comma {
                 self.bump();
             }
@@ -181,7 +184,7 @@ impl Parser {
         }
         self.expect(Token::Semi)?;
         Ok(PredDecl {
-            name,
+            name: name.into(),
             params,
             branches: branches
                 .into_iter()
@@ -208,7 +211,7 @@ impl Parser {
             "int" => Type::Int,
             "bool" => Type::Bool,
             "void" => Type::Void,
-            _ => Type::Data(name),
+            _ => Type::Data(name.into()),
         })
     }
 
@@ -228,7 +231,7 @@ impl Parser {
             let pname = self.eat_ident()?;
             params.push(Param {
                 ty,
-                name: pname,
+                name: pname.into(),
                 by_ref,
             });
             if *self.peek() == Token::Comma {
@@ -245,7 +248,7 @@ impl Parser {
         };
         Ok(MethodDecl {
             ret,
-            name,
+            name: name.into(),
             params,
             spec,
             body,
@@ -390,7 +393,10 @@ impl Parser {
         // denote heap-predicate instances (specifications contain no method calls).
         let expr = self.expr()?;
         match expr {
-            Expr::Call(name, args) => heaps.push(HeapFormula::Pred { name, args }),
+            Expr::Call(name, args) => heaps.push(HeapFormula::Pred {
+                name: name.to_string(),
+                args,
+            }),
             other => pures.push(other),
         }
         Ok(())
@@ -454,7 +460,7 @@ impl Parser {
                         self.expect(Token::Assign)?;
                         let value = self.expr()?;
                         self.expect(Token::Semi)?;
-                        Ok(Stmt::Assign(name, value))
+                        Ok(Stmt::Assign(name.into(), value))
                     } else if *self.peek_at(1) == Token::Dot
                         && matches!(self.peek_at(2), Token::Ident(_))
                         && *self.peek_at(3) == Token::Assign
@@ -465,7 +471,7 @@ impl Parser {
                         self.expect(Token::Assign)?;
                         let value = self.expr()?;
                         self.expect(Token::Semi)?;
-                        Ok(Stmt::FieldAssign(base, field, value))
+                        Ok(Stmt::FieldAssign(base.into(), field.into(), value))
                     } else {
                         let expr = self.expr()?;
                         self.expect(Token::Semi)?;
@@ -510,7 +516,7 @@ impl Parser {
             None
         };
         self.expect(Token::Semi)?;
-        Ok(Stmt::VarDecl(ty, name, init))
+        Ok(Stmt::VarDecl(ty, name.into(), init))
     }
 
     // ------------------------------------------------------------ expressions
@@ -650,19 +656,19 @@ impl Parser {
                     self.bump();
                     let data = self.eat_ident()?;
                     let args = self.call_args()?;
-                    Ok(Expr::New(data, args))
+                    Ok(Expr::New(data.into(), args))
                 }
                 _ => {
                     let name = self.eat_ident()?;
                     if *self.peek() == Token::LParen {
                         let args = self.call_args()?;
-                        Ok(Expr::Call(name, args))
+                        Ok(Expr::Call(name.into(), args))
                     } else if *self.peek() == Token::Dot {
                         self.bump();
                         let field = self.eat_ident()?;
-                        Ok(Expr::Field(name, field))
+                        Ok(Expr::Field(name.into(), field.into()))
                     } else {
-                        Ok(Expr::Var(name))
+                        Ok(Expr::Var(name.into()))
                     }
                 }
             },

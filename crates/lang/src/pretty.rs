@@ -11,7 +11,7 @@ pub fn type_str(ty: &Type) -> String {
         Type::Int => "int".to_string(),
         Type::Bool => "bool".to_string(),
         Type::Void => "void".to_string(),
-        Type::Data(name) => name.clone(),
+        Type::Data(name) => name.to_string(),
     }
 }
 
@@ -36,7 +36,7 @@ pub fn expr_str(expr: &Expr) -> String {
         Expr::Int(v) => v.to_string(),
         Expr::Bool(b) => b.to_string(),
         Expr::Null => "null".to_string(),
-        Expr::Var(v) => v.clone(),
+        Expr::Var(v) => v.to_string(),
         Expr::Field(v, f) => format!("{v}.{f}"),
         Expr::Unary(UnOp::Neg, e) => format!("-({})", expr_str(e)),
         Expr::Unary(UnOp::Not, e) => format!("!({})", expr_str(e)),
@@ -253,7 +253,11 @@ pub fn program_str(program: &Program) -> String {
             out,
             "pred {}({}) == {branches};\n",
             pred.name,
-            pred.params.join(", ")
+            pred.params
+                .iter()
+                .map(|p| p.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
         );
     }
     for lemma in &program.lemmas {

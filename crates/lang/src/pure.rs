@@ -52,7 +52,7 @@ pub fn expr_to_lin(expr: &Expr) -> Result<Lin, PureError> {
     match expr {
         Expr::Int(value) => Ok(Lin::constant(Rational::from(*value))),
         Expr::Null => Ok(Lin::constant(Rational::from(NULL_VALUE))),
-        Expr::Var(name) => Ok(Lin::var(name.clone())),
+        Expr::Var(name) => Ok(Lin::var(*name)),
         Expr::Unary(UnOp::Neg, inner) => Ok(expr_to_lin(inner)?.scale(-Rational::one())),
         Expr::Unary(UnOp::Not, _) => Err(PureError::Sort("arithmetic")),
         Expr::Binary(op, lhs, rhs) => {
@@ -74,7 +74,7 @@ pub fn expr_to_lin(expr: &Expr) -> Result<Lin, PureError> {
             }
         }
         Expr::Bool(_) => Err(PureError::Sort("arithmetic")),
-        Expr::Call(name, _) => Err(PureError::Call(name.clone())),
+        Expr::Call(name, _) => Err(PureError::Call(name.to_string())),
         Expr::Field(..) | Expr::New(..) => Err(PureError::HeapAccess),
         Expr::Nondet => Err(PureError::Nondet),
     }
@@ -93,7 +93,7 @@ pub fn expr_to_formula(expr: &Expr) -> Result<Formula, PureError> {
         Expr::Unary(UnOp::Neg, _) => Err(PureError::Sort("boolean")),
         Expr::Var(name) => {
             // A bare boolean variable b is encoded as b != 0 (b ranges over {0, 1}).
-            Ok(Constraint::ne(Lin::var(name.clone()), Lin::zero()).into())
+            Ok(Constraint::ne(Lin::var(*name), Lin::zero()).into())
         }
         Expr::Binary(op, lhs, rhs) => match op {
             BinOp::And => Ok(Formula::and(vec![
@@ -113,7 +113,7 @@ pub fn expr_to_formula(expr: &Expr) -> Result<Formula, PureError> {
             BinOp::Add | BinOp::Sub | BinOp::Mul => Err(PureError::Sort("boolean")),
         },
         Expr::Int(_) | Expr::Null => Err(PureError::Sort("boolean")),
-        Expr::Call(name, _) => Err(PureError::Call(name.clone())),
+        Expr::Call(name, _) => Err(PureError::Call(name.to_string())),
         Expr::Field(..) | Expr::New(..) => Err(PureError::HeapAccess),
         Expr::Nondet => Err(PureError::Nondet),
     }
@@ -127,7 +127,7 @@ pub fn replace_nondet(expr: &Expr, fresh: &mut impl FnMut() -> String) -> (Expr,
             Expr::Nondet => {
                 let name = fresh();
                 out.push(name.clone());
-                Expr::Var(name)
+                Expr::Var(name.into())
             }
             Expr::Unary(op, inner) => Expr::Unary(*op, Box::new(go(inner, fresh, out))),
             Expr::Binary(op, lhs, rhs) => Expr::Binary(
@@ -136,11 +136,11 @@ pub fn replace_nondet(expr: &Expr, fresh: &mut impl FnMut() -> String) -> (Expr,
                 Box::new(go(rhs, fresh, out)),
             ),
             Expr::Call(name, args) => Expr::Call(
-                name.clone(),
+                *name,
                 args.iter().map(|a| go(a, fresh, out)).collect(),
             ),
             Expr::New(name, args) => Expr::New(
-                name.clone(),
+                *name,
                 args.iter().map(|a| go(a, fresh, out)).collect(),
             ),
             other => other.clone(),

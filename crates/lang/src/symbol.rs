@@ -1,0 +1,290 @@
+//! Interned identifier symbols.
+//!
+//! Every identifier the front end manipulates — variable, method, data-type,
+//! field and predicate names — is interned into a global table and represented
+//! by a copyable [`Symbol`] (a `u32` id). Equality and hashing are O(1) id
+//! comparisons, so the `String`-keyed scope/signature maps of the normaliser
+//! and type checker become integer-keyed, and cloning an AST no longer clones
+//! its identifier strings.
+//!
+//! Two properties matter for the rest of the workspace:
+//!
+//! * **Resolution is stable and cheap.** Interned strings are leaked once and
+//!   live for the program's lifetime, so [`Symbol::as_str`] returns
+//!   `&'static str` and [`Symbol`] derefs to `str` — call sites that take
+//!   `&str` keep working unchanged.
+//! * **Nothing observable depends on interning order.** Ids are assigned in
+//!   first-intern order, which is scheduling-dependent when several worker
+//!   threads parse concurrently (see `tnt-infer`'s batched sessions). `Ord`
+//!   therefore compares the *resolved strings*, never the ids, and `Debug`/
+//!   `Display` render the string — so sorted output, pretty-printed canonical
+//!   forms and test assertions are byte-identical across runs regardless of
+//!   which thread interned a name first. Only `Hash`/`Eq` use the id, which is
+//!   safe because `HashMap` iteration order is already unspecified.
+//!
+//! `Symbol` deliberately does **not** implement `Borrow<str>`: its `Hash` is
+//! the id, not the string's hash, so a `HashMap<Symbol, _>` must never be
+//! probed with a `&str` key — implementing `Borrow` would make that compile
+//! and silently miss every lookup.
+
+use std::borrow::Cow;
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::{OnceLock, RwLock};
+
+/// An interned identifier: a `u32` handle into the global symbol table.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Symbol(u32);
+
+struct Interner {
+    map: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns a string, returning its symbol (the same symbol for equal
+    /// strings, from any thread).
+    pub fn intern(name: &str) -> Symbol {
+        Symbol::intern_cow(Cow::Borrowed(name))
+    }
+
+    fn intern_cow(name: Cow<'_, str>) -> Symbol {
+        let lock = interner();
+        {
+            let read = match lock.read() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            if let Some(&id) = read.map.get(name.as_ref()) {
+                return Symbol(id);
+            }
+        }
+        let mut write = match lock.write() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        // Double-check: another thread may have interned it between the locks.
+        if let Some(&id) = write.map.get(name.as_ref()) {
+            return Symbol(id);
+        }
+        // Interned names live for the program's lifetime; leaking them is what
+        // makes `as_str` return `&'static str` without unsafe code. The table
+        // holds identifiers (variables, methods, fields), whose number is
+        // bounded by the distinct names in all parsed programs.
+        let leaked: &'static str = Box::leak(name.into_owned().into_boxed_str());
+        let id = u32::try_from(write.strings.len()).expect("fewer than 2^32 distinct symbols");
+        write.strings.push(leaked);
+        write.map.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// The interned string.
+    pub fn as_str(self) -> &'static str {
+        let read = match interner().read() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        read.strings[self.0 as usize]
+    }
+
+    /// The raw interner id. Ids are assigned in first-intern order and are
+    /// *not* stable across runs or thread schedules — use them only as opaque
+    /// handles, never in any output or ordering.
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl Deref for Symbol {
+    type Target = str;
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for Symbol {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self.as_str(), f)
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Quoted, like `String`'s Debug, so derived Debug output of the AST is
+        // unchanged by the migration.
+        fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+// Ordering compares the resolved strings: interning order is thread-schedule
+// dependent, and id order leaking into sorted output would break the
+// byte-identity determinism gates.
+impl Ord for Symbol {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.0 == other.0 {
+            std::cmp::Ordering::Equal
+        } else {
+            self.as_str().cmp(other.as_str())
+        }
+    }
+}
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(name: &str) -> Symbol {
+        Symbol::intern(name)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(name: String) -> Symbol {
+        Symbol::intern_cow(Cow::Owned(name))
+    }
+}
+
+impl From<&String> for Symbol {
+    fn from(name: &String) -> Symbol {
+        Symbol::intern(name)
+    }
+}
+
+impl From<Symbol> for String {
+    fn from(symbol: Symbol) -> String {
+        symbol.as_str().to_string()
+    }
+}
+
+impl PartialEq<str> for Symbol {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<Symbol> for str {
+    fn eq(&self, other: &Symbol) -> bool {
+        self == other.as_str()
+    }
+}
+
+impl PartialEq<&str> for Symbol {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<Symbol> for &str {
+    fn eq(&self, other: &Symbol) -> bool {
+        *self == other.as_str()
+    }
+}
+
+impl PartialEq<String> for Symbol {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl PartialEq<Symbol> for String {
+    fn eq(&self, other: &Symbol) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::intern("foo_sym_test");
+        let b = Symbol::from("foo_sym_test".to_string());
+        assert_eq!(a, b);
+        assert_eq!(a.id(), b.id());
+        assert_eq!(a.as_str(), "foo_sym_test");
+    }
+
+    #[test]
+    fn distinct_strings_distinct_symbols() {
+        assert_ne!(Symbol::intern("sym_x"), Symbol::intern("sym_y"));
+    }
+
+    #[test]
+    fn string_comparisons_work_both_ways() {
+        let s = Symbol::intern("cmp_test");
+        assert_eq!(s, "cmp_test");
+        assert_eq!("cmp_test", s);
+        assert_eq!(s, "cmp_test".to_string());
+        assert_eq!("cmp_test".to_string(), s);
+        assert!(s != "other");
+    }
+
+    #[test]
+    fn ordering_follows_strings_not_ids() {
+        // Intern in reverse lexicographic order: ids disagree with strings.
+        let b = Symbol::intern("ord_b");
+        let a = Symbol::intern("ord_a");
+        assert!(a < b, "Ord must compare resolved strings");
+        let mut v = vec![b, a];
+        v.sort();
+        assert_eq!(v, vec![a, b]);
+    }
+
+    #[test]
+    fn debug_matches_string_debug() {
+        let s = Symbol::intern("dbg_test");
+        assert_eq!(format!("{s:?}"), format!("{:?}", "dbg_test"));
+        assert_eq!(format!("{s}"), "dbg_test");
+    }
+
+    #[test]
+    fn deref_gives_str_methods() {
+        let s = Symbol::intern("_t42");
+        assert!(s.starts_with("_t"));
+        assert_eq!(s.len(), 4);
+        fn takes_str(x: &str) -> usize {
+            x.len()
+        }
+        assert_eq!(takes_str(&s), 4);
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let names: Vec<String> = (0..64).map(|i| format!("conc_{i}")).collect();
+        let ids = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(|| names.iter().map(|n| Symbol::intern(n)).collect::<Vec<_>>())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .collect::<Vec<_>>()
+        });
+        for per_thread in &ids[1..] {
+            assert_eq!(per_thread, &ids[0]);
+        }
+    }
+}

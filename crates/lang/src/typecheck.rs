@@ -6,6 +6,7 @@
 //! paper's `lseg(x, null, n)` where `n` is a ghost size variable).
 
 use crate::ast::{BinOp, Block, Expr, MethodDecl, Program, Stmt, Type, UnOp};
+use crate::symbol::Symbol;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -32,7 +33,7 @@ fn err<T>(message: impl Into<String>) -> Result<T, TypeError> {
 
 struct Context<'a> {
     program: &'a Program,
-    vars: Vec<HashMap<String, Type>>,
+    vars: Vec<HashMap<Symbol, Type>>,
     current: &'a MethodDecl,
 }
 
@@ -45,15 +46,15 @@ impl<'a> Context<'a> {
         self.vars.pop();
     }
 
-    fn declare(&mut self, name: &str, ty: Type) {
+    fn declare(&mut self, name: Symbol, ty: Type) {
         self.vars
             .last_mut()
             .expect("at least one scope")
-            .insert(name.to_string(), ty);
+            .insert(name, ty);
     }
 
-    fn lookup(&self, name: &str) -> Option<&Type> {
-        self.vars.iter().rev().find_map(|scope| scope.get(name))
+    fn lookup(&self, name: Symbol) -> Option<&Type> {
+        self.vars.iter().rev().find_map(|scope| scope.get(&name))
     }
 
     fn field_type(&self, data: &str, field: &str) -> Option<&Type> {
@@ -118,7 +119,7 @@ fn check_method(program: &Program, method: &MethodDecl) -> Result<(), TypeError>
                 method.name, p.name
             ));
         }
-        ctx.declare(&p.name, p.ty.clone());
+        ctx.declare(p.name, p.ty.clone());
     }
     if method.body.is_none() && method.spec.is_none() {
         return err(format!(
@@ -142,7 +143,7 @@ fn check_block(ctx: &mut Context<'_>, block: &Block) -> Result<(), TypeError> {
 }
 
 fn check_stmt(ctx: &mut Context<'_>, stmt: &Stmt) -> Result<(), TypeError> {
-    let method = ctx.current.name.clone();
+    let method = ctx.current.name;
     match stmt {
         Stmt::Skip => Ok(()),
         Stmt::VarDecl(ty, name, init) => {
@@ -153,11 +154,11 @@ fn check_stmt(ctx: &mut Context<'_>, stmt: &Stmt) -> Result<(), TypeError> {
                 let init_ty = infer_expr(ctx, init)?;
                 require_assignable(&method, name, ty, &init_ty)?;
             }
-            ctx.declare(name, ty.clone());
+            ctx.declare(*name, ty.clone());
             Ok(())
         }
         Stmt::Assign(name, value) => {
-            let Some(var_ty) = ctx.lookup(name).cloned() else {
+            let Some(var_ty) = ctx.lookup(*name).cloned() else {
                 return err(format!(
                     "`{method}`: assignment to undeclared variable `{name}`"
                 ));
@@ -166,7 +167,7 @@ fn check_stmt(ctx: &mut Context<'_>, stmt: &Stmt) -> Result<(), TypeError> {
             require_assignable(&method, name, &var_ty, &value_ty)
         }
         Stmt::FieldAssign(base, field, value) => {
-            let Some(base_ty) = ctx.lookup(base).cloned() else {
+            let Some(base_ty) = ctx.lookup(*base).cloned() else {
                 return err(format!("`{method}`: unknown variable `{base}`"));
             };
             let Type::Data(data) = base_ty else {
@@ -243,13 +244,13 @@ fn infer_expr(ctx: &Context<'_>, expr: &Expr) -> Result<Type, TypeError> {
         Expr::Int(_) => Ok(Type::Int),
         Expr::Bool(_) => Ok(Type::Bool),
         Expr::Nondet => Ok(Type::Int),
-        Expr::Null => Ok(Type::Data("null".to_string())),
-        Expr::Var(name) => match ctx.lookup(name) {
+        Expr::Null => Ok(Type::Data(Symbol::intern("null"))),
+        Expr::Var(name) => match ctx.lookup(*name) {
             Some(ty) => Ok(ty.clone()),
             None => err(format!("`{method}`: unknown variable `{name}`")),
         },
         Expr::Field(base, field) => {
-            let Some(Type::Data(data)) = ctx.lookup(base) else {
+            let Some(Type::Data(data)) = ctx.lookup(*base) else {
                 return err(format!("`{method}`: `{base}` is not a data value"));
             };
             match ctx.field_type(data, field) {
@@ -337,7 +338,7 @@ fn infer_expr(ctx: &Context<'_>, expr: &Expr) -> Result<Type, TypeError> {
                 let arg_ty = infer_expr(ctx, arg)?;
                 require_assignable(method, field, field_ty, &arg_ty)?;
             }
-            Ok(Type::Data(data.clone()))
+            Ok(Type::Data(*data))
         }
     }
 }

@@ -120,6 +120,69 @@ pub struct Rational {
     den: i128,
 }
 
+/// Correctly rounded `n / d` (round-to-nearest, ties-to-even) for `u128`
+/// operands with `d` in `1..=i128::MAX as u128`, by binary long division: the
+/// 54 leading quotient bits plus a sticky flag decide the rounding, however
+/// large the operands are. Backs [`Rational::to_f64`].
+fn div_to_f64(n: u128, d: u128) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    // Exponent of the quotient's leading bit: the unique `e` with
+    // `2^e <= n/d < 2^(e+1)`. The shifts below cannot overflow: `d << e` has
+    // bit length `nbits <= 128`, and `n << -e` has bit length `dbits <= 127`
+    // (plus one after the decrement, still within 128).
+    let nbits = (128 - n.leading_zeros()) as i32;
+    let dbits = (128 - d.leading_zeros()) as i32;
+    let mut e = nbits - dbits;
+    let leading_ge = if e >= 0 { n >= d << e } else { n << -e >= d };
+    if !leading_ge {
+        e -= 1;
+    }
+    // Restoring division, most significant bit first: 53 mantissa bits plus
+    // one rounding bit. Integer positions subtract `d << pos`; fractional
+    // positions double the remainder instead (the remainder stays `< d`, and
+    // `d < 2^127`, so the doubling cannot overflow either).
+    let mut q: u64 = 0;
+    let mut r = n;
+    if e < 0 {
+        // All 54 bits are fractional; pre-scale so the first loop iteration's
+        // doubling lands on position `e` (safe: `n/d < 2^(e+1)` bounds the
+        // shifted remainder below `d`).
+        r <<= -e - 1;
+    }
+    for pos in ((e - 53)..=e).rev() {
+        q <<= 1;
+        if pos >= 0 {
+            let dd = d << pos;
+            if r >= dd {
+                r -= dd;
+                q |= 1;
+            }
+        } else {
+            r <<= 1;
+            if r >= d {
+                r -= d;
+                q |= 1;
+            }
+        }
+    }
+    let sticky = r != 0;
+    let mut mantissa = q >> 1;
+    let round_bit = q & 1 == 1;
+    if round_bit && (sticky || mantissa & 1 == 1) {
+        mantissa += 1;
+        if mantissa == 1 << 53 {
+            mantissa >>= 1;
+            e += 1;
+        }
+    }
+    // `mantissa * 2^(e - 52)`, with the power of two built exactly. The
+    // quotient magnitude lies in `[2^-128, 2^127]`, far inside normal range.
+    let scale = f64::from_bits(((1023 + e - 52) as u64) << 52);
+    mantissa as f64 * scale
+}
+
 fn gcd(mut a: i128, mut b: i128) -> i128 {
     a = a.abs();
     b = b.abs();
@@ -231,8 +294,27 @@ impl Rational {
     }
 
     /// Converts to `f64` (for reporting only — never used in decisions).
+    ///
+    /// The result is correctly rounded (round-to-nearest, ties-to-even). The
+    /// obvious `num as f64 / den as f64` is not: it rounds each 127-bit
+    /// operand to 53 bits *before* dividing, and that double rounding can land
+    /// on the wrong side of a rounding boundary for near-`i128` operands
+    /// (e.g. `(2^126 + 2^73) / (2^127 - 1)` collapses to exactly `0.5`
+    /// instead of the next float up). Small operands take the exact one-step
+    /// hardware division; large ones go through widened-integer long division.
     pub fn to_f64(&self) -> f64 {
-        self.num as f64 / self.den as f64
+        const EXACT: i128 = 1 << 53;
+        if self.num.abs() < EXACT && self.den < EXACT {
+            // Both operands are exactly representable: a single correctly
+            // rounded hardware division.
+            return self.num as f64 / self.den as f64;
+        }
+        let magnitude = div_to_f64(self.num.unsigned_abs(), self.den as u128);
+        if self.num < 0 {
+            -magnitude
+        } else {
+            magnitude
+        }
     }
 
     fn checked_add(&self, other: &Self) -> Self {
@@ -459,6 +541,43 @@ mod tests {
     fn display() {
         assert_eq!(Rational::new(3, 4).to_string(), "3/4");
         assert_eq!(Rational::from(-7).to_string(), "-7");
+    }
+
+    #[test]
+    fn to_f64_small_operands_are_exact() {
+        assert_eq!(Rational::new(1, 2).to_f64(), 0.5);
+        assert_eq!(Rational::new(-7, 4).to_f64(), -1.75);
+        assert_eq!(Rational::new(1, 3).to_f64(), 1.0 / 3.0);
+        assert_eq!(Rational::zero().to_f64(), 0.0);
+        assert_eq!(Rational::from(1i128 << 40).to_f64(), (1u64 << 40) as f64);
+    }
+
+    #[test]
+    fn to_f64_near_i128_operands_round_correctly() {
+        // (2^126 + 2^73) / (2^127 - 1) = 1/2 + 2^-54 + ε with ε > 0, which is
+        // just above the tie between 0.5 and the next float: correct rounding
+        // gives 0.5 + 2^-53. Rounding the operands to f64 first collapses the
+        // numerator to 2^126 (ties-to-even) and the denominator to 2^127, so
+        // the naive `num as f64 / den as f64` answers exactly 0.5 — the double
+        // rounding this conversion must avoid.
+        let tricky = Rational::new((1i128 << 126) + (1i128 << 73), i128::MAX);
+        let naive = (((1i128 << 126) + (1i128 << 73)) as f64) / (i128::MAX as f64);
+        let expected = 0.5 + (2.0f64).powi(-53);
+        assert_eq!(naive, 0.5, "the double-rounding hazard this test pins");
+        assert_eq!(tricky.to_f64(), expected);
+        assert_eq!((-tricky).to_f64(), -expected);
+
+        // Huge integers still match the (single-rounded, hence correct)
+        // direct conversion.
+        assert_eq!(Rational::from(i128::MAX).to_f64(), i128::MAX as f64);
+        assert_eq!(Rational::from(i128::MIN + 1).to_f64(), (i128::MIN + 1) as f64);
+        // Reciprocal of a huge denominator: quotient far below 1.
+        let tiny = Rational::new(1, i128::MAX);
+        assert_eq!(tiny.to_f64(), 1.0 / (i128::MAX as f64));
+        // A half-way quotient with a zero sticky bit must round to even:
+        // (2^126 + 2^73) / 2^126 = 1 + 2^-53 exactly → ties-to-even → 1.0.
+        let tie = Rational::new((1i128 << 126) + (1i128 << 73), 1i128 << 126);
+        assert_eq!(tie.to_f64(), 1.0);
     }
 
     #[test]

@@ -115,9 +115,13 @@ impl SuiteReport {
     }
 
     /// Fraction of programs with a correct definite answer, in `[0, 1]`.
+    ///
+    /// An empty suite scores `0.0`: a run that silently produced no programs
+    /// must *fail* a precision floor, not vacuously satisfy it (the previous
+    /// `1.0` let an empty report sail past every conformance gate).
     pub fn precision(&self) -> f64 {
         if self.programs.is_empty() {
-            return 1.0;
+            return 0.0;
         }
         self.correct_definite() as f64 / self.programs.len() as f64
     }
@@ -574,5 +578,18 @@ mod tests {
         assert!((report.precision() - 0.5).abs() < 1e-9);
         let (yes, no, unknown, timeout) = report.counts();
         assert_eq!((yes, no, unknown, timeout), (1, 1, 1, 1));
+    }
+
+    /// An empty report must fail precision floors instead of vacuously passing
+    /// them (a corpus-generation bug would otherwise be invisible).
+    #[test]
+    fn empty_suite_has_zero_precision() {
+        let report = SuiteReport {
+            suite: "empty".into(),
+            programs: vec![],
+        };
+        assert_eq!(report.precision(), 0.0);
+        assert_eq!(report.total(), 0);
+        assert!(report.unsound().is_empty());
     }
 }

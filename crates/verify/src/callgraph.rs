@@ -21,15 +21,16 @@ pub struct CallGraph {
 impl CallGraph {
     /// Builds the call graph and its SCC condensation.
     pub fn build(program: &Program) -> CallGraph {
-        let nodes: Vec<String> = program.methods.iter().map(|m| m.name.clone()).collect();
+        let nodes: Vec<String> = program.methods.iter().map(|m| m.name.to_string()).collect();
         let mut edges: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
         for method in &program.methods {
             let callees: BTreeSet<String> = program
                 .callees(method)
                 .into_iter()
+                .map(|c| c.to_string())
                 .filter(|c| nodes.contains(c))
                 .collect();
-            edges.insert(method.name.clone(), callees);
+            edges.insert(method.name.to_string(), callees);
         }
         let sccs = tarjan(&nodes, &edges);
         let mut scc_of = BTreeMap::new();

@@ -104,7 +104,7 @@ pub fn verify_program(program: &Program) -> Result<ProgramAnalysis, VerifyError>
             }
             let analysis = analyze_scenario(&spec_env, &call_graph, method, spec, &scenario, body)?;
             let label = if unknown_count == 1 {
-                method.name.clone()
+                method.name.to_string()
             } else {
                 format!("{}#{}", method.name, scenario.index)
             };
@@ -188,7 +188,7 @@ fn analyze_scenario(
     }
 
     Ok(MethodAnalysis {
-        method: method.name.clone(),
+        method: method.name.to_string(),
         scenario_index: scenario.index,
         vars: scenario.vars.clone(),
         upr_name: scenario.upr_name.clone().expect("unknown scenario"),
@@ -259,7 +259,7 @@ impl Exec<'_> {
                     .map(|(mut s, index)| {
                         if let HeapAtom::PointsTo { data, fields, .. } = &mut s.heap.atoms[index] {
                             if let Some(&fi) =
-                                self.env.field_index.get(&(data.clone(), field.clone()))
+                                self.env.field_index.get(&(data.clone(), field.to_string()))
                             {
                                 fields[fi] = value.clone();
                             }
@@ -335,7 +335,7 @@ impl Exec<'_> {
                 state.assume(Constraint::ge(addr.clone(), Lin::constant(Rational::one())).into());
                 state.heap.push(HeapAtom::PointsTo {
                     root: addr.clone(),
-                    data: data.clone(),
+                    data: data.to_string(),
                     fields,
                 });
                 vec![(state, addr)]

@@ -126,21 +126,21 @@ impl SpecEnv {
         let preds = PredTable::from_program(program).map_err(|e| SpecError {
             message: e.to_string(),
         })?;
-        let pred_names: Vec<String> = program.preds.iter().map(|p| p.name.clone()).collect();
+        let pred_names: Vec<String> = program.preds.iter().map(|p| p.name.to_string()).collect();
         let invariants = InvariantTable::compute(&preds, &pred_names);
 
         let mut field_index = BTreeMap::new();
         let mut field_type = BTreeMap::new();
         for data in &program.datas {
             for (i, (ty, field)) in data.fields.iter().enumerate() {
-                field_index.insert((data.name.clone(), field.clone()), i);
-                field_type.insert((data.name.clone(), field.clone()), ty.clone());
+                field_index.insert((data.name.to_string(), field.to_string()), i);
+                field_type.insert((data.name.to_string(), field.to_string()), ty.clone());
             }
         }
 
         let mut methods = BTreeMap::new();
         for method in &program.methods {
-            methods.insert(method.name.clone(), compile_method(method)?);
+            methods.insert(method.name.to_string(), compile_method(method)?);
         }
         Ok(SpecEnv {
             methods,
@@ -159,7 +159,11 @@ impl SpecEnv {
 
 fn compile_method(method: &MethodDecl) -> Result<MethodSpec, SpecError> {
     let spec = method.spec.clone().unwrap_or_else(Spec::unknown);
-    let params = method.param_names();
+    let params: Vec<String> = method
+        .param_names()
+        .into_iter()
+        .map(|p| p.to_string())
+        .collect();
     let mut scenarios = Vec::new();
     for (index, (guards, pair)) in spec.scenarios().into_iter().enumerate() {
         let err = |e: &dyn std::fmt::Display| SpecError {
@@ -204,7 +208,7 @@ fn compile_method(method: &MethodDecl) -> Result<MethodSpec, SpecError> {
             .params
             .iter()
             .filter(|p| p.ty == Type::Int || p.ty.is_data())
-            .map(|p| p.name.clone())
+            .map(|p| p.name.to_string())
             .collect();
         vars.extend(ghosts.iter().cloned());
 
@@ -234,13 +238,13 @@ fn compile_method(method: &MethodDecl) -> Result<MethodSpec, SpecError> {
         });
     }
     Ok(MethodSpec {
-        name: method.name.clone(),
+        name: method.name.to_string(),
         params,
         ref_params: method
             .params
             .iter()
             .filter(|p| p.by_ref)
-            .map(|p| p.name.clone())
+            .map(|p| p.name.to_string())
             .collect(),
         param_types: method.params.iter().map(|p| p.ty.clone()).collect(),
         returns_value: method.ret != Type::Void,

@@ -35,6 +35,12 @@ fn session() -> &'static AnalysisSession {
 /// Runs one suite and enforces the two conformance invariants.
 fn conforms(suite: Suite, precision_floor: f64) {
     let expected_len = suite.len();
+    assert!(
+        expected_len > 0,
+        "{}: corpus generation produced an empty suite — a precision floor over \
+         zero programs would be meaningless",
+        suite.category.name()
+    );
     let report = runner::run_suite_session(session(), &suite);
     assert_eq!(
         report.total(),

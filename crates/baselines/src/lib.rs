@@ -473,7 +473,7 @@ void main(node x, node y)
             }
         }
         let stats = session.stats();
-        assert!(stats.cache_hits > 0, "repeat runs must hit the cache");
+        assert!(stats.cache_hits() > 0, "repeat runs must hit the cache");
     }
 
     #[test]

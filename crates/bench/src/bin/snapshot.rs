@@ -42,10 +42,19 @@ struct SuiteSnapshot {
 }
 
 /// The session-wide reuse and spending counters after both passes.
+///
+/// Schema v2: `cache_hits` is kept for back-compat as the sum of the three
+/// per-tier counters (`dedup_hits` + `memory_hits` + `store_hits`), which make
+/// a hit's provenance attributable in `BENCH_*.json` deltas. This binary runs
+/// without a persistent store, so `store_hits`/`store_writes` are zero here.
 #[derive(Serialize)]
 struct SessionSnapshot {
     programs: u64,
     cache_hits: u64,
+    dedup_hits: u64,
+    memory_hits: u64,
+    store_hits: u64,
+    store_writes: u64,
     cache_misses: u64,
     work: u64,
 }
@@ -144,7 +153,7 @@ fn main() {
     let memory = session.cache_memory();
     let legacy = memory.legacy_resident_bytes();
     let snapshot = Snapshot {
-        schema: "hiptnt-bench-snapshot/v1",
+        schema: "hiptnt-bench-snapshot/v2",
         tool: "hiptnt+",
         total_programs: suites.iter().map(|s| s.programs).sum(),
         total_work: suites.iter().map(|s| s.work).sum(),
@@ -153,7 +162,11 @@ fn main() {
         suites,
         session: SessionSnapshot {
             programs: stats.programs,
-            cache_hits: stats.cache_hits,
+            cache_hits: stats.cache_hits(),
+            dedup_hits: stats.dedup_hits,
+            memory_hits: stats.memory_hits,
+            store_hits: stats.store_hits,
+            store_writes: stats.store_writes,
             cache_misses: stats.cache_misses,
             work: stats.work,
         },

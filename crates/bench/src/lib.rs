@@ -185,4 +185,32 @@ mod tests {
         row.record(Answer::No, 0.1, Expected::Terminating);
         assert_eq!(row.unsound, 2);
     }
+
+    /// The `--json` paths interpolate suite and tool names into the emitted
+    /// document; names with quotes, backslashes or newlines must still produce
+    /// valid JSON (gate: parse the emission with the strict parser).
+    #[test]
+    fn hostile_names_still_emit_valid_json() {
+        let table = Table {
+            suites: vec!["crafted \"v2\"".to_string(), "back\\slash\nline".to_string()],
+            rows: vec![(
+                "tool \"quoted\"\ttabbed".to_string(),
+                vec![Row::default(), Row::default()],
+            )],
+        };
+        for emitted in [
+            serde_json::to_string(&table).unwrap(),
+            serde_json::to_string_pretty(&table).unwrap(),
+        ] {
+            let parsed = serde_json::from_str(&emitted)
+                .unwrap_or_else(|err| panic!("emitted JSON must parse: {err}\n{emitted}"));
+            let suites = parsed.get("suites").unwrap().as_array().unwrap();
+            assert_eq!(suites[0].as_str(), Some("crafted \"v2\""));
+            assert_eq!(suites[1].as_str(), Some("back\\slash\nline"));
+            let rows = parsed.get("rows").unwrap().as_array().unwrap();
+            let (name, cells) = (&rows[0].as_array().unwrap()[0], &rows[0].as_array().unwrap()[1]);
+            assert_eq!(name.as_str(), Some("tool \"quoted\"\ttabbed"));
+            assert_eq!(cells.as_array().unwrap().len(), 2);
+        }
+    }
 }

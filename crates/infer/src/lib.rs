@@ -62,6 +62,8 @@ pub mod summary;
 pub mod theta;
 
 pub use analyzer::{analyze_program, analyze_source, AnalysisResult, InferError, InferOptions};
-pub use session::{AnalysisSession, BatchEntry, ProgramKey, SessionStats};
+pub use session::{
+    AnalysisSession, BatchEntry, CacheTier, ProgramKey, SessionStats, SummaryBackend,
+};
 pub use summary::{CaseStatus, MethodSummary, SummaryCase, Verdict};
 pub use theta::Theta;

@@ -60,7 +60,7 @@
 //! assert_eq!(batch.len(), 2);
 //! assert!(batch[1].cache_hit, "identical program served from the cache");
 //! let stats = session.stats();
-//! assert_eq!((stats.cache_misses, stats.cache_hits), (1, 1));
+//! assert_eq!((stats.cache_misses, stats.cache_hits()), (1, 1));
 //! ```
 
 use crate::analyzer::{analyze_program, AnalysisResult, InferError, InferOptions};
@@ -158,6 +158,64 @@ impl ProgramKey {
     pub fn hash_value(&self) -> u64 {
         self.fnv1a
     }
+
+    /// The key as 16 little-endian bytes (FNV-1a half first) — the on-disk
+    /// form used by persistent summary stores.
+    pub fn to_bytes(&self) -> [u8; 16] {
+        let mut bytes = [0u8; 16];
+        bytes[..8].copy_from_slice(&self.fnv1a.to_le_bytes());
+        bytes[8..].copy_from_slice(&self.fnv1.to_le_bytes());
+        bytes
+    }
+
+    /// Rebuilds a key from its [`ProgramKey::to_bytes`] form.
+    pub fn from_bytes(bytes: [u8; 16]) -> ProgramKey {
+        ProgramKey {
+            fnv1a: u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")),
+            fnv1: u64::from_le_bytes(bytes[8..].try_into().expect("8 bytes")),
+        }
+    }
+}
+
+/// The 64-bit FNV-1a digest of an [`InferOptions::fingerprint`] string, stored
+/// alongside each persistent record as a cross-check that the record was
+/// produced under the option profile the reader expects (the fingerprint is
+/// already hashed into the [`ProgramKey`]; this field makes the pairing
+/// auditable without retaining the full string on disk).
+pub fn fingerprint_hash(fingerprint: &str) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for byte in fingerprint.bytes() {
+        hash = (hash ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// A persistent second cache tier behind the in-memory summary cache: the
+/// session reads through it on a memory miss and writes every freshly computed
+/// result behind it (see [`AnalysisSession::with_store`]).
+///
+/// Implementations must be safe for concurrent use from the session's worker
+/// threads. The canonical implementation is `tnt_store::SummaryStore`, the
+/// append-only content-addressed on-disk store.
+///
+/// Unlike the in-memory tier, a persistent tier has no full-text verification
+/// guard: the inserting process is usually long gone, so a served record is
+/// trusted on its 128-bit content key (plus the fingerprint-hash cross-check)
+/// alone. The in-memory tier still installs the probing program's text as the
+/// guard of a store-served entry, so later in-process probes keep the full
+/// collision detection.
+pub trait SummaryBackend: Send + Sync {
+    /// Loads the result stored under `key`, if any. `fingerprint_hash` is the
+    /// [`self::fingerprint_hash`] of the probing options profile;
+    /// a record stored under the same key but a different fingerprint hash is
+    /// a miss (and a corruption diagnostic, since the key already encodes the
+    /// fingerprint).
+    fn load(&self, key: &ProgramKey, fingerprint_hash: u64) -> Option<AnalysisResult>;
+
+    /// Persists `result` under `key`. Returns `true` when a record was
+    /// actually written (`false` when the key was already present — results
+    /// are deterministic, so rewriting would only duplicate the record).
+    fn store(&self, key: &ProgramKey, fingerprint_hash: u64, result: &AnalysisResult) -> bool;
 }
 
 /// Joins a canonical program text and an options fingerprint into the byte
@@ -220,12 +278,25 @@ impl CacheMemory {
 
 /// Counters of one session's reuse and spending, read via
 /// [`AnalysisSession::stats`].
+///
+/// The three hit counters are disjoint by construction, so a `BENCH_*.json`
+/// delta is attributable to the tier that moved: an in-batch duplicate never
+/// consults the caches at all, a memory hit never reaches the store, and a
+/// store hit is by definition a memory miss.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SessionStats {
     /// Programs submitted (batch entries plus single-shot calls).
     pub programs: u64,
-    /// Programs served from the summary cache (or de-duplicated within a batch).
-    pub cache_hits: u64,
+    /// Programs de-duplicated against an identical program *within the same
+    /// batch* (the duplicate never consults any cache tier).
+    pub dedup_hits: u64,
+    /// Programs served from the in-memory summary cache.
+    pub memory_hits: u64,
+    /// Programs served from the persistent store tier
+    /// (see [`AnalysisSession::with_store`]).
+    pub store_hits: u64,
+    /// Freshly computed results written behind to the persistent store tier.
+    pub store_writes: u64,
     /// Programs actually analysed.
     pub cache_misses: u64,
     /// Deterministic work units (simplex pivots + DNF cubes) actually spent by
@@ -233,6 +304,25 @@ pub struct SessionStats {
     /// delta (verification, solving *and* validation; failed and panicked runs
     /// included). Cache hits add nothing here, which is exactly the point.
     pub work: u64,
+}
+
+impl SessionStats {
+    /// All programs served without a fresh analysis — the sum of the three
+    /// disjoint hit tiers (kept for back-compat with the pre-split counter).
+    pub fn cache_hits(&self) -> u64 {
+        self.dedup_hits + self.memory_hits + self.store_hits
+    }
+}
+
+/// Which reuse tier served a [`BatchEntry`] (see [`BatchEntry::tier`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheTier {
+    /// De-duplicated against an identical program in the same batch.
+    Dedup,
+    /// Served from the in-memory summary cache.
+    Memory,
+    /// Served from the persistent store tier.
+    Store,
 }
 
 /// One program's outcome within a batch (see
@@ -248,13 +338,17 @@ pub struct BatchEntry {
     /// `true` when this entry was served from the cache (including de-duplicated
     /// repeats within the same batch).
     pub cache_hit: bool,
+    /// The reuse tier that served this entry, `None` for a fresh analysis.
+    pub tier: Option<CacheTier>,
     /// Deterministic work units attributed to this program: `stats.work` of the
     /// (possibly cached) result, or — for a panicked analysis — the units the
     /// aborted run had already spent. Identical across runs, worker counts, and
     /// cache on/off.
     pub work: u64,
-    /// Wall-clock seconds of the analysis that produced this entry (the original
-    /// computation's cost when served from cache).
+    /// Wall-clock seconds *this entry* cost in this batch: the analysis time
+    /// for a fresh computation, the (near-zero) lookup time for a cache hit.
+    /// The original computation's cost of a served result remains available as
+    /// [`AnalysisResult::elapsed`].
     pub elapsed: f64,
 }
 
@@ -264,6 +358,7 @@ impl BatchEntry {
             result: Err(error),
             panic_note: None,
             cache_hit: false,
+            tier: None,
             work: 0,
             elapsed: 0.0,
         }
@@ -291,8 +386,16 @@ pub struct AnalysisSession {
     fingerprint: String,
     /// `None` when caching is disabled ([`AnalysisSession::without_cache`]).
     cache: Option<Mutex<HashMap<ProgramKey, CacheSlot>>>,
+    /// The persistent second tier, read through on a memory miss and written
+    /// behind on every fresh result ([`AnalysisSession::with_store`]).
+    store: Option<std::sync::Arc<dyn SummaryBackend>>,
+    /// [`fingerprint_hash`] of the default profile's fingerprint.
+    fingerprint_hash: u64,
     programs: AtomicU64,
-    hits: AtomicU64,
+    dedup_hits: AtomicU64,
+    memory_hits: AtomicU64,
+    store_hits: AtomicU64,
+    store_writes: AtomicU64,
     misses: AtomicU64,
     work: AtomicU64,
     /// Total keyed-text bytes ever inserted as verification guards.
@@ -312,12 +415,18 @@ impl std::fmt::Debug for AnalysisSession {
 impl AnalysisSession {
     /// A session with the summary cache enabled (the default configuration).
     pub fn new(options: InferOptions) -> AnalysisSession {
+        let fingerprint = options.fingerprint();
         AnalysisSession {
-            fingerprint: options.fingerprint(),
+            fingerprint_hash: fingerprint_hash(&fingerprint),
+            fingerprint,
             options,
             cache: Some(Mutex::new(HashMap::new())),
+            store: None,
             programs: AtomicU64::new(0),
-            hits: AtomicU64::new(0),
+            dedup_hits: AtomicU64::new(0),
+            memory_hits: AtomicU64::new(0),
+            store_hits: AtomicU64::new(0),
+            store_writes: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             work: AtomicU64::new(0),
             guard_bytes: AtomicU64::new(0),
@@ -331,6 +440,21 @@ impl AnalysisSession {
             cache: None,
             ..AnalysisSession::new(options)
         }
+    }
+
+    /// Attaches a persistent store as the second cache tier: every memory miss
+    /// reads through it ([`SessionStats::store_hits`]) and every freshly
+    /// computed result is written behind it ([`SessionStats::store_writes`]).
+    /// Served store records are installed in the in-memory tier, so the Nth
+    /// probe of a popular program never touches the disk again.
+    ///
+    /// Ignored (with no effect) on a [`without_cache`](AnalysisSession::without_cache)
+    /// session: the store tier sits strictly behind the memory tier.
+    pub fn with_store(mut self, store: std::sync::Arc<dyn SummaryBackend>) -> AnalysisSession {
+        if self.cache.is_some() {
+            self.store = Some(store);
+        }
+        self
     }
 
     /// The session's default [`InferOptions`].
@@ -347,7 +471,10 @@ impl AnalysisSession {
     pub fn stats(&self) -> SessionStats {
         SessionStats {
             programs: self.programs.load(Ordering::Relaxed),
-            cache_hits: self.hits.load(Ordering::Relaxed),
+            dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
+            memory_hits: self.memory_hits.load(Ordering::Relaxed),
+            store_hits: self.store_hits.load(Ordering::Relaxed),
+            store_writes: self.store_writes.load(Ordering::Relaxed),
             cache_misses: self.misses.load(Ordering::Relaxed),
             work: self.work.load(Ordering::Relaxed),
         }
@@ -452,6 +579,46 @@ impl AnalysisSession {
         }
     }
 
+    /// Tiered lookup: the in-memory cache first, then the persistent store.
+    /// A store hit is installed in the memory tier (with the probing program's
+    /// keyed text as its verification guard) so later probes stay in memory.
+    /// Updates the per-tier hit counters.
+    fn lookup_tiers(
+        &self,
+        key: &ProgramKey,
+        keyed: &str,
+        fingerprint_hash: u64,
+    ) -> Option<(AnalysisResult, CacheTier)> {
+        if let Some(hit) = self.cache_get(key, keyed) {
+            self.memory_hits.fetch_add(1, Ordering::Relaxed);
+            return Some((hit, CacheTier::Memory));
+        }
+        let store = self.store.as_ref()?;
+        let hit = store.load(key, fingerprint_hash)?;
+        self.store_hits.fetch_add(1, Ordering::Relaxed);
+        self.cache_put(*key, keyed, &hit, false);
+        Some((hit, CacheTier::Store))
+    }
+
+    /// Publishes a freshly computed result to both tiers: the in-memory cache
+    /// (with guard semantics per `verified`) and — write-behind — the
+    /// persistent store.
+    fn publish(
+        &self,
+        key: ProgramKey,
+        keyed: &str,
+        result: &AnalysisResult,
+        verified: bool,
+        fingerprint_hash: u64,
+    ) {
+        self.cache_put(key, keyed, result, verified);
+        if let Some(store) = &self.store {
+            if store.store(&key, fingerprint_hash, result) {
+                self.store_writes.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
     /// Analyses a front-end-processed program under the session's default
     /// options, consulting the summary cache first.
     ///
@@ -477,13 +644,17 @@ impl AnalysisSession {
         options: &InferOptions,
     ) -> Result<AnalysisResult, InferError> {
         self.programs.fetch_add(1, Ordering::Relaxed);
+        let fp_hash = if *options == self.options {
+            self.fingerprint_hash
+        } else {
+            fingerprint_hash(&options.fingerprint())
+        };
         let keyed = self.cache_enabled().then(|| {
             let keyed = keyed_text(&canonical_program(program), &self.fingerprint_for(options));
             (ProgramKey::of_keyed_text(&keyed), keyed)
         });
         if let Some((key, keyed)) = &keyed {
-            if let Some(hit) = self.cache_get(key, keyed) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+            if let Some((hit, _)) = self.lookup_tiers(key, keyed, fp_hash) {
                 return Ok(hit);
             }
         }
@@ -497,7 +668,7 @@ impl AnalysisSession {
             Ordering::Relaxed,
         );
         if let (Some((key, keyed)), Ok(result)) = (&keyed, &result) {
-            self.cache_put(*key, keyed, result, false);
+            self.publish(*key, keyed, result, false, fp_hash);
         }
         result
     }
@@ -581,17 +752,24 @@ impl AnalysisSession {
                     }
                     // Colliding text: analyse it as its own (unregistered)
                     // job; the publish step will poison the shared slot.
-                } else if let Some(hit) = self.cache_get(&key, &keyed) {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
-                    entries[index] = Some(BatchEntry {
-                        panic_note: None,
-                        cache_hit: true,
-                        work: hit.stats.work,
-                        elapsed: hit.elapsed,
-                        result: Ok(hit),
-                    });
-                    continue;
                 } else {
+                    let probe = std::time::Instant::now();
+                    if let Some((hit, tier)) =
+                        self.lookup_tiers(&key, &keyed, self.fingerprint_hash)
+                    {
+                        entries[index] = Some(BatchEntry {
+                            panic_note: None,
+                            cache_hit: true,
+                            tier: Some(tier),
+                            work: hit.stats.work,
+                            // The lookup span only: a served entry costs its
+                            // (near-zero) lookup, not the original analysis —
+                            // that cost stays in `AnalysisResult::elapsed`.
+                            elapsed: probe.elapsed().as_secs_f64(),
+                            result: Ok(hit),
+                        });
+                        continue;
+                    }
                     job_of_key.insert(key, jobs.len());
                 }
                 jobs.push(Job {
@@ -642,20 +820,29 @@ impl AnalysisSession {
                 // A de-duplicated job's text was byte-compared against every
                 // duplicate submission — an independent confirmation, so the
                 // entry starts verified and retains no guard.
-                self.cache_put(*key, keyed, result, job.targets.len() > 1);
+                self.publish(
+                    *key,
+                    keyed,
+                    result,
+                    job.targets.len() > 1,
+                    self.fingerprint_hash,
+                );
             }
             let repeats = job.targets.len().saturating_sub(1) as u64;
-            self.hits.fetch_add(repeats, Ordering::Relaxed);
+            self.dedup_hits.fetch_add(repeats, Ordering::Relaxed);
             for (position, target) in job.targets.iter().enumerate() {
                 entries[*target] = Some(BatchEntry {
                     result: outcome.result.clone(),
                     panic_note: outcome.panic_note.clone(),
                     cache_hit: position > 0,
+                    tier: (position > 0).then_some(CacheTier::Dedup),
                     work: match &outcome.result {
                         Ok(result) => result.stats.work,
                         Err(_) => outcome.spent,
                     },
-                    elapsed: outcome.elapsed,
+                    // A duplicate consumed no wall-clock of its own: the
+                    // analysis cost is reported once, on the computing entry.
+                    elapsed: if position > 0 { 0.0 } else { outcome.elapsed },
                 });
             }
         }
@@ -745,7 +932,12 @@ mod tests {
         assert!(!batch[0].cache_hit && !batch[1].cache_hit && batch[2].cache_hit);
         assert_eq!(batch[0].work, batch[2].work);
         let stats = session.stats();
-        assert_eq!((stats.programs, stats.cache_misses, stats.cache_hits), (3, 2, 1));
+        assert_eq!((stats.programs, stats.cache_misses, stats.cache_hits()), (3, 2, 1));
+        assert_eq!(
+            (stats.dedup_hits, stats.memory_hits, stats.store_hits),
+            (1, 0, 0),
+            "an in-batch duplicate is a dedup hit, not a cache-tier hit"
+        );
     }
 
     #[test]
@@ -758,7 +950,12 @@ mod tests {
         assert_eq!(first.program_verdict(), again.program_verdict());
         assert_eq!(first.stats.work, again.stats.work);
         let stats = session.stats();
-        assert_eq!((stats.cache_misses, stats.cache_hits), (1, 1));
+        assert_eq!((stats.cache_misses, stats.cache_hits()), (1, 1));
+        assert_eq!(
+            (stats.dedup_hits, stats.memory_hits, stats.store_hits),
+            (0, 1, 0),
+            "a cross-batch repeat is a memory-tier hit"
+        );
         // Work is only spent once: the session total covers the single analysis
         // (solve work plus its verification/validation surroundings) and the
         // cache hit added nothing.
@@ -773,7 +970,7 @@ mod tests {
         let batch = session.analyze_batch_with(&[COUNTDOWN, COUNTDOWN], 2);
         assert!(batch.iter().all(|e| !e.cache_hit));
         let stats = session.stats();
-        assert_eq!((stats.cache_misses, stats.cache_hits), (2, 0));
+        assert_eq!((stats.cache_misses, stats.cache_hits()), (2, 0));
     }
 
     #[test]
@@ -790,7 +987,7 @@ mod tests {
         // Same verdict, but distinct cache entries: two misses, no false hit.
         assert_eq!(defaults.program_verdict(), other.program_verdict());
         let stats = session.stats();
-        assert_eq!((stats.cache_misses, stats.cache_hits), (2, 0));
+        assert_eq!((stats.cache_misses, stats.cache_hits()), (2, 0));
         assert_ne!(
             InferOptions::default().fingerprint(),
             no_validate.fingerprint()
@@ -898,7 +1095,7 @@ void main(node x) requires cll(x, n) ensures true; { return; }";
         // The first hit verifies the guard byte-for-byte, then drops it.
         session.analyze_source(COUNTDOWN_WS).unwrap();
         let after = session.cache_memory();
-        assert_eq!(session.stats().cache_hits, 1);
+        assert_eq!(session.stats().cache_hits(), 1);
         assert_eq!(after.resident_guard_bytes, 0);
         assert_eq!(after.inserted_guard_bytes, before.inserted_guard_bytes);
         assert_eq!(after.resident_bytes(), 16, "one bare 16-byte key remains");

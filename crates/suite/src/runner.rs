@@ -56,7 +56,10 @@ pub struct ProgramReport {
     pub expected: Expected,
     /// The analyzer's outcome.
     pub outcome: Outcome,
-    /// Wall-clock seconds spent on this program.
+    /// Wall-clock seconds spent on this program: the analysis time when it was
+    /// actually analysed, the (near-zero) cache-lookup span when it was served
+    /// from a summary-cache tier. Summing a warm pass therefore reflects what
+    /// the pass actually cost instead of re-billing the original analyses.
     pub elapsed: f64,
     /// Deterministic work units spent (simplex pivots + DNF cubes).
     pub work: u64,
@@ -523,7 +526,7 @@ mod tests {
             stats.cache_misses, misses_after_first,
             "second run must be served entirely from the cache"
         );
-        assert!(stats.cache_hits >= suite.len() as u64);
+        assert!(stats.cache_hits() >= suite.len() as u64);
         for (a, b) in first.programs.iter().zip(&second.programs) {
             assert_eq!(a.name, b.name);
             assert_eq!(a.outcome, b.outcome);

@@ -38,7 +38,7 @@ fn main() {
         total_unsound,
         stats.programs,
         stats.cache_misses,
-        stats.cache_hits
+        stats.cache_hits()
     );
     if total_unsound > 0 {
         std::process::exit(1);

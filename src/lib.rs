@@ -18,7 +18,10 @@
 //! * [`baselines`] — comparison analyzers with the capability profiles of the
 //!   evaluation's other tools;
 //! * [`suite`] — benchmark corpora with ground truth, and the conformance
-//!   runner that scores the analyzer against them.
+//!   runner that scores the analyzer against them;
+//! * [`store`] — the append-only, content-addressed on-disk summary store that
+//!   persists inferred summaries across processes (served through the
+//!   session's store cache tier and the `tnt-serve` daemon).
 //!
 //! # Workspace layout
 //!
@@ -35,6 +38,8 @@
 //!   baselines/ tnt-baselines  capability profiles of the paper's comparison tools
 //!   suite/     tnt-suite      five benchmark corpora + conformance runner
 //!   bench/     tnt-bench      table harness, bin targets, criterion benches
+//!   store/     tnt-store      persistent content-addressed summary store
+//!   serve/     tnt-serve      line-delimited JSON analysis daemon
 //! third_party/             offline stand-ins for rand/serde/serde_json/criterion
 //! tests/                   end-to-end gates (conformance, differential, soundness)
 //! ```
@@ -76,11 +81,12 @@ pub use tnt_infer as infer;
 pub use tnt_lang as lang;
 pub use tnt_logic as logic;
 pub use tnt_solver as solver;
+pub use tnt_store as store;
 pub use tnt_suite as suite;
 pub use tnt_verify as verify;
 
 pub use tnt_infer::{
-    analyze_program, analyze_source, AnalysisResult, AnalysisSession, BatchEntry, CaseStatus,
-    InferOptions, MethodSummary, SessionStats, Verdict,
+    analyze_program, analyze_source, AnalysisResult, AnalysisSession, BatchEntry, CacheTier,
+    CaseStatus, InferOptions, MethodSummary, SessionStats, SummaryBackend, Verdict,
 };
 pub use tnt_lang::{frontend, parse_program};

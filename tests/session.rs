@@ -54,7 +54,7 @@ fn poisoned_summary_stays_poisoned_when_served_from_cache_on_another_thread() {
     });
     let stats = session.stats();
     assert_eq!(
-        (stats.cache_misses, stats.cache_hits),
+        (stats.cache_misses, stats.cache_hits()),
         (1, 1),
         "the second run must be a pure cache hit"
     );
@@ -113,6 +113,56 @@ fn cross_suite_cache_reuse_changes_no_report_field() {
         assert_eq!(a.outcome, b.outcome, "{}", a.name);
         assert_eq!(a.work, b.work, "{}", a.name);
         assert_eq!(a.note, b.note, "{}", a.name);
+    }
+}
+
+/// A warm pass costs lookups, not analyses: per program, the deterministic
+/// `work` is identical to the cold pass (the entry reports what the analysis
+/// cost, wherever it was computed), while the reported `elapsed` is the cache
+/// lookup span — not a re-billing of the original analysis time.
+#[test]
+fn warm_pass_reports_cold_work_with_lookup_priced_timing() {
+    let suite = crafted();
+    let sources: Vec<&str> = suite.programs.iter().map(|p| p.source.as_str()).collect();
+    let session = AnalysisSession::new(InferOptions::default());
+    let cold = session.analyze_batch_with(&sources, 2);
+    let after_cold = session.stats();
+    let warm = session.analyze_batch_with(&sources, 2);
+    let stats = session.stats();
+
+    assert_eq!(
+        (stats.dedup_hits + stats.memory_hits) - (after_cold.dedup_hits + after_cold.memory_hits),
+        sources.len() as u64,
+        "the whole warm pass is served from in-memory tiers"
+    );
+    assert_eq!(
+        stats.cache_misses, after_cold.cache_misses,
+        "the warm pass analyses nothing"
+    );
+    assert_eq!(
+        stats.work, after_cold.work,
+        "session work is spent by analyses alone; the warm pass adds none"
+    );
+    assert_eq!(
+        stats.cache_hits(),
+        stats.dedup_hits + stats.memory_hits + stats.store_hits,
+        "the back-compat sum is exactly the tier split"
+    );
+    assert_eq!(stats.store_hits, 0, "no store is attached to this session");
+    assert_eq!(stats.store_writes, 0);
+
+    for (i, (a, b)) in cold.iter().zip(&warm).enumerate() {
+        assert_eq!(a.work, b.work, "program {i}: warm work must equal cold work");
+        assert!(b.tier.is_some(), "program {i}: warm entries come from a tier");
+        // The warm entry prices the lookup, not the original analysis. The
+        // bound is deliberately generous (wall clock under CI load) — a
+        // re-billed analysis of the heavy crafted programs would exceed it,
+        // a hash probe never will.
+        assert!(
+            b.elapsed <= 0.5,
+            "program {i}: cached elapsed {}s looks like a re-billed analysis",
+            b.elapsed
+        );
     }
 }
 

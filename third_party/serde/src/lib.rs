@@ -18,8 +18,13 @@ pub trait Serialize {
     fn serialize_json(&self, out: &mut String);
 }
 
-fn push_json_string(s: &str, out: &mut String) {
-    out.push('"');
+/// Appends `s` to `out` escaped for inclusion inside a JSON string literal
+/// (quotes, backslashes, and control characters; no surrounding quotes).
+///
+/// This is the single escaping routine shared by the `Serialize` impls and by
+/// hand-built JSON emitters (`tnt-serve`'s response lines): any `"`/`\`/newline
+/// in a method name or diagnostic note must never produce invalid JSON.
+pub fn json_escape_into(s: &str, out: &mut String) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -33,6 +38,19 @@ fn push_json_string(s: &str, out: &mut String) {
             c => out.push(c),
         }
     }
+}
+
+/// Returns `s` escaped for inclusion inside a JSON string literal (no
+/// surrounding quotes). See [`json_escape_into`].
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    json_escape_into(s, &mut out);
+    out
+}
+
+fn push_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    json_escape_into(s, out);
     out.push('"');
 }
 
@@ -149,5 +167,15 @@ mod tests {
         let mut out = String::new();
         "a\"b\\c\nd".serialize_json(&mut out);
         assert_eq!(out, r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn json_escape_covers_quotes_backslashes_and_controls() {
+        assert_eq!(super::json_escape(r#"say "hi"\now"#), r#"say \"hi\"\\now"#);
+        assert_eq!(super::json_escape("tab\there"), "tab\\there");
+        assert_eq!(super::json_escape("bell\u{07}"), "bell\\u0007");
+        assert_eq!(super::json_escape("plain"), "plain");
+        // Non-ASCII passes through untouched (JSON is UTF-8).
+        assert_eq!(super::json_escape("péché ≥ 0"), "péché ≥ 0");
     }
 }

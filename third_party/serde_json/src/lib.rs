@@ -1,18 +1,24 @@
 //! Offline `serde_json` subset: `to_string` / `to_string_pretty` over the
-//! JSON-writing [`serde::Serialize`] trait.
+//! JSON-writing [`serde::Serialize`] trait, plus a strict [`from_str`]
+//! parser into a dynamically-typed [`Value`] (enough for `tnt-serve`'s
+//! line-delimited request protocol and for tests that validate emitted JSON).
 
 #![forbid(unsafe_code)]
 
+pub use serde::{json_escape, json_escape_into};
+
+use std::collections::BTreeMap;
 use std::fmt;
 
-/// Serialization error. The JSON-writing subset is infallible, so this is
-/// never produced; it exists so call sites keep real-serde signatures.
+/// A serialization or parse error. The JSON-writing side is infallible (the
+/// `Result` exists so call sites keep real-serde signatures); [`from_str`]
+/// produces errors with a message and byte position.
 #[derive(Debug)]
-pub struct Error(());
+pub struct Error(String);
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str("serde_json subset error (unreachable)")
+        f.write_str(&self.0)
     }
 }
 
@@ -89,6 +95,325 @@ fn prettify(json: &str) -> String {
     out
 }
 
+/// A dynamically-typed JSON value, as produced by [`from_str`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`, which covers the protocol's ids and
+    /// counters exactly up to 2^53).
+    Number(f64),
+    /// A string, with escapes resolved.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object. Keyed by a `BTreeMap`: duplicate keys keep the last value,
+    /// like real serde_json's default.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Member lookup on objects (`None` for absent keys or non-objects).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The members, if this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// `true` only for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// Parses a complete JSON document. Strict: rejects trailing garbage,
+/// trailing commas, unquoted keys, and lone surrogates.
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.fail("trailing characters after the JSON document"));
+    }
+    Ok(value)
+}
+
+/// Nesting depth limit for the parser — ample for the protocol, finite so a
+/// hostile input cannot overflow the stack.
+const MAX_PARSE_DEPTH: u32 = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn fail(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_literal(&mut self, lit: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.fail("invalid literal"))
+        }
+    }
+
+    fn value(&mut self, depth: u32) -> Result<Value, Error> {
+        if depth > MAX_PARSE_DEPTH {
+            return Err(self.fail("JSON nesting too deep"));
+        }
+        match self.bytes.get(self.pos) {
+            None => Err(self.fail("unexpected end of input")),
+            Some(b'n') => self.expect_literal("null", Value::Null),
+            Some(b't') => self.expect_literal("true", Value::Bool(true)),
+            Some(b'f') => self.expect_literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.eat(b']') {
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.value(depth + 1)?);
+                    self.skip_ws();
+                    if self.eat(b']') {
+                        return Ok(Value::Array(items));
+                    }
+                    if !self.eat(b',') {
+                        return Err(self.fail("expected ',' or ']' in array"));
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut map = BTreeMap::new();
+                self.skip_ws();
+                if self.eat(b'}') {
+                    return Ok(Value::Object(map));
+                }
+                loop {
+                    self.skip_ws();
+                    if self.bytes.get(self.pos) != Some(&b'"') {
+                        return Err(self.fail("expected a quoted object key"));
+                    }
+                    let key = self.string()?;
+                    self.skip_ws();
+                    if !self.eat(b':') {
+                        return Err(self.fail("expected ':' after object key"));
+                    }
+                    self.skip_ws();
+                    let value = self.value(depth + 1)?;
+                    map.insert(key, value);
+                    self.skip_ws();
+                    if self.eat(b'}') {
+                        return Ok(Value::Object(map));
+                    }
+                    if !self.eat(b',') {
+                        return Err(self.fail("expected ',' or '}' in object"));
+                    }
+                }
+            }
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.fail("unexpected character")),
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        self.eat(b'-');
+        let digits_start = self.pos;
+        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == digits_start {
+            return Err(self.fail("expected a digit"));
+        }
+        // Leading zeros: JSON allows "0" and "0.x" but not "01".
+        if self.bytes[digits_start] == b'0' && self.pos - digits_start > 1 {
+            return Err(self.fail("leading zero in number"));
+        }
+        if self.eat(b'.') {
+            let frac_start = self.pos;
+            while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return Err(self.fail("expected a digit after '.'"));
+            }
+        }
+        if matches!(self.bytes.get(self.pos), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.bytes.get(self.pos), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_start = self.pos;
+            while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return Err(self.fail("expected a digit in exponent"));
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII");
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| self.fail("unparseable number"))
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        debug_assert_eq!(self.bytes.get(self.pos), Some(&b'"'));
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: a run of plain bytes up to the next quote or escape.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.fail("invalid UTF-8 in string"))?,
+            );
+            match self.bytes.get(self.pos) {
+                None => return Err(self.fail("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // High surrogate: require the paired low half.
+                                if !(self.eat(b'\\') && self.eat(b'u')) {
+                                    return Err(self.fail("unpaired surrogate"));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.fail("invalid low surrogate"));
+                                }
+                                let cp =
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(cp)
+                                    .ok_or_else(|| self.fail("invalid surrogate pair"))?
+                            } else if (0xDC00..0xE000).contains(&hi) {
+                                return Err(self.fail("unpaired surrogate"));
+                            } else {
+                                char::from_u32(hi).ok_or_else(|| self.fail("invalid \\u escape"))?
+                            };
+                            out.push(c);
+                            // hex4 advanced past the digits; undo the +1 below.
+                            self.pos -= 1;
+                        }
+                        _ => return Err(self.fail("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => return Err(self.fail("unescaped control character in string")),
+            }
+        }
+    }
+
+    /// Reads exactly four hex digits, advancing past them.
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.fail("truncated \\u escape"));
+        }
+        let text = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.fail("invalid \\u escape"))?;
+        let v = u32::from_str_radix(text, 16).map_err(|_| self.fail("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,5 +432,65 @@ mod tests {
         let s = "a{b},c:[d]";
         let pretty = to_string_pretty(&s).unwrap();
         assert_eq!(pretty, "\"a{b},c:[d]\"");
+    }
+
+    #[test]
+    fn parses_the_serve_protocol_shapes() {
+        let v = from_str(r#"{"id": 7, "source": "void f() {}"}"#).unwrap();
+        assert_eq!(v.get("id").and_then(Value::as_f64), Some(7.0));
+        assert_eq!(v.get("source").and_then(Value::as_str), Some("void f() {}"));
+        assert!(v.get("missing").is_none());
+
+        let v = from_str(r#"[null, true, false, -1.5e2, "x", {}, []]"#).unwrap();
+        let items = v.as_array().unwrap();
+        assert!(items[0].is_null());
+        assert_eq!(items[1].as_bool(), Some(true));
+        assert_eq!(items[3].as_f64(), Some(-150.0));
+        assert_eq!(items[5], Value::Object(Default::default()));
+        assert_eq!(items[6], Value::Array(Vec::new()));
+    }
+
+    #[test]
+    fn escapes_round_trip_through_emit_and_parse() {
+        let nasty = "quote \" back \\ newline \n tab \t bell \u{07} unicode é ≥";
+        let emitted = to_string(&nasty).unwrap();
+        let parsed = from_str(&emitted).unwrap();
+        assert_eq!(parsed.as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn parses_unicode_escapes_and_surrogate_pairs() {
+        assert_eq!(
+            from_str(r#""\u0041\u00e9\ud83d\ude00""#).unwrap().as_str(),
+            Some("Aé😀")
+        );
+        assert!(from_str(r#""\ud83d""#).is_err(), "lone high surrogate");
+        assert!(from_str(r#""\ude00""#).is_err(), "lone low surrogate");
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{a: 1}",
+            "01",
+            "1 2",
+            "\"unterminated",
+            "nul",
+            "[\"\\x\"]",
+        ] {
+            assert!(from_str(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn parses_nested_but_bounded_depth() {
+        let deep_ok = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(from_str(&deep_ok).is_ok());
+        let too_deep = format!("{}1{}", "[".repeat(200), "]".repeat(200));
+        assert!(from_str(&too_deep).is_err());
     }
 }

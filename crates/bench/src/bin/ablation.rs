@@ -1,6 +1,6 @@
 //! Ablation study over the design choices of the inference engine:
-//! abductive case splitting, semantic base-case inference, lexicographic measures
-//! and the multiphase/max ranking domain.
+//! abductive case splitting, semantic base-case inference, lexicographic measures,
+//! the multiphase/max ranking domain, and closed recurrent-set synthesis.
 //!
 //! With `--json` the table is emitted as JSON only (the CI smoke test contract).
 
@@ -35,6 +35,10 @@ fn main() {
         multiphase: false,
         ..InferOptions::default()
     });
+    let no_recurrent = profile(InferOptions {
+        recurrent: false,
+        ..InferOptions::default()
+    });
     struct Named<'a>(&'static str, &'a HipTntPlus);
     impl Analyzer for Named<'_> {
         fn name(&self) -> &'static str {
@@ -49,7 +53,15 @@ fn main() {
     let no_base = Named("no base-case", &no_base);
     let no_lex = Named("no lexicographic", &no_lex);
     let no_multiphase = Named("no multiphase/max", &no_multiphase);
-    let tools: Vec<&dyn Analyzer> = vec![&full, &no_split, &no_base, &no_lex, &no_multiphase];
+    let no_recurrent = Named("no recurrent-set", &no_recurrent);
+    let tools: Vec<&dyn Analyzer> = vec![
+        &full,
+        &no_split,
+        &no_base,
+        &no_lex,
+        &no_multiphase,
+        &no_recurrent,
+    ];
     let table = Table::build(&tools, &suites);
     if std::env::args().any(|a| a == "--json") {
         println!(

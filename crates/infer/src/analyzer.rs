@@ -26,6 +26,9 @@ pub struct InferOptions {
     pub multiphase: bool,
     /// Maximum depth of a nested multiphase tuple.
     pub max_phases: usize,
+    /// Closed recurrent-set synthesis as the non-termination fall-back
+    /// (see [`SolveOptions::recurrent`]).
+    pub recurrent: bool,
     /// Re-verify the inferred specifications (the paper's re-checking step).
     pub validate: bool,
     /// Deterministic work budget in simplex pivots (see [`SolveOptions::work_budget`]).
@@ -46,6 +49,7 @@ impl Default for InferOptions {
             max_lex_components: 4,
             multiphase: true,
             max_phases: 3,
+            recurrent: true,
             validate: true,
             work_budget: solve_defaults.work_budget,
             max_total_cases: solve_defaults.max_total_cases,
@@ -63,6 +67,7 @@ impl InferOptions {
             max_lex_components: self.max_lex_components,
             multiphase: self.multiphase,
             max_phases: self.max_phases,
+            recurrent: self.recurrent,
             work_budget: self.work_budget,
             max_total_cases: self.max_total_cases,
         }
@@ -147,6 +152,22 @@ impl AnalysisResult {
         self.verdict(&entry)
             .expect("entry method taken from the summary table")
     }
+
+    /// The inferred precondition of the program's entry point (same entry choice
+    /// as [`Self::program_verdict`]): the first scenario of the entry method that
+    /// carries one. `None` when the entry's behaviour is definite on every input
+    /// or nothing definite is known.
+    pub fn program_precondition(&self) -> Option<&crate::summary::Precondition> {
+        let entry = if self.summaries.values().any(|s| s.method == "main") {
+            "main"
+        } else {
+            self.summaries.values().next()?.method.as_str()
+        };
+        self.summaries
+            .values()
+            .filter(|s| s.method == entry)
+            .find_map(|s| s.precondition.as_ref())
+    }
 }
 
 /// Analyses a parsed (and front-end processed) program.
@@ -203,6 +224,7 @@ pub fn analyze_program(
                 guard: tnt_logic::Formula::True,
                 status: crate::summary::CaseStatus::MayLoop,
             }];
+            summary.precondition = None;
         }
     }
     Ok(AnalysisResult {

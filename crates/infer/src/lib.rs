@@ -29,10 +29,14 @@
 //!   `prove_NonTerm` (Fig. 9, inductive unreachability) and the abductive
 //!   inference `abd_inf` with the `split` case partitioning (Sec. 5.5–5.6).
 //! * [`solve`] — the overall fixed-point loop of Fig. 6 (base-case inference,
-//!   per-SCC analysis, case refinement, `finalize`).
-//! * [`summary`] / [`analyzer`] — user-facing API: analyse a program (or source text)
-//!   and obtain per-method case summaries plus a benchmark verdict
-//!   (terminating / non-terminating / unknown), with every claimed verdict re-checked.
+//!   per-SCC analysis, case refinement, `finalize`), with closed recurrent-set
+//!   synthesis ([`tnt_solver::recurrent`]) as the non-termination fall-back for
+//!   the aperiodic class.
+//! * [`summary`] / [`precondition`] / [`analyzer`] — user-facing API: analyse a
+//!   program (or source text) and obtain per-method case summaries, the weakest
+//!   inferred termination/non-termination *preconditions* read off the case
+//!   structure, and a benchmark verdict (terminating / non-terminating /
+//!   unknown), with every claimed verdict re-checked.
 //!
 //! # Example
 //!
@@ -54,6 +58,7 @@
 #![warn(missing_docs)]
 
 pub mod analyzer;
+pub mod precondition;
 pub mod prove;
 pub mod session;
 pub mod solve;
@@ -65,5 +70,5 @@ pub use analyzer::{analyze_program, analyze_source, AnalysisResult, InferError, 
 pub use session::{
     AnalysisSession, BatchEntry, CacheTier, ProgramKey, SessionStats, SummaryBackend,
 };
-pub use summary::{CaseStatus, MethodSummary, SummaryCase, Verdict};
+pub use summary::{CaseStatus, MethodSummary, Precondition, PreconditionKind, SummaryCase, Verdict};
 pub use theta::Theta;

@@ -1,0 +1,144 @@
+//! Backwards precondition inference: from a finalized case structure to the
+//! weakest input region with a *definite* temporal outcome.
+//!
+//! The solve loop already propagates temporal information backwards against
+//! the callgraph: specialisation instantiates every callee case (including
+//! regions discovered by the conditional prover and the recurrent-set
+//! synthesis) into its callers' contexts, so by the time a store is finalized
+//! each scenario's cases reflect everything known about its callees. The
+//! rules here read the precondition off that structure:
+//!
+//! * any `Loop` case ⇒ a **non-termination** precondition, the disjunction of
+//!   the `Loop` guards — every input inside it provably diverges;
+//! * otherwise a mix of `Term` and `MayLoop` cases ⇒ a **termination**
+//!   precondition, the disjunction of the `Term` guards — every input inside
+//!   it provably terminates (the dual region under a `U` verdict);
+//! * all cases `Term` (the verdict is already a definite "Y" on every input)
+//!   or all cases `MayLoop` (nothing definite is known) ⇒ no precondition.
+//!
+//! Guards are formulas over the scenario's measure variables and the final
+//! store's guards are feasible, pairwise exclusive and exhaustive, so the
+//! disjunctions below are exact — no projection (which over-approximates on
+//! the integers, the unsound direction here) is ever applied.
+
+use crate::summary::{CaseStatus, MethodSummary, Precondition, PreconditionKind};
+use tnt_logic::{sat, simplify, Formula};
+
+/// Computes the precondition of one summary, if its case structure carries
+/// definite-region information beyond the plain Y/N/U verdict.
+///
+/// Returns `None` for all-`Term` and all-`MayLoop` summaries, when the region
+/// is unsatisfiable (a degenerate store), and — defensively — when the
+/// non-termination region overlaps a `Term` guard, which would contradict the
+/// store's guard exclusivity invariant.
+pub fn precondition_of(summary: &MethodSummary) -> Option<Precondition> {
+    let guards_with = |wanted: fn(&CaseStatus) -> bool| -> Vec<Formula> {
+        summary
+            .cases
+            .iter()
+            .filter(|c| wanted(&c.status))
+            .map(|c| c.guard.clone())
+            .collect()
+    };
+    let loops = guards_with(|s| matches!(s, CaseStatus::Loop));
+    let terms = guards_with(|s| matches!(s, CaseStatus::Term(_)));
+    let unknowns = guards_with(|s| matches!(s, CaseStatus::MayLoop));
+    if !loops.is_empty() {
+        let region = simplify::prune(&Formula::or(loops));
+        if !sat::is_sat(&region) {
+            return None;
+        }
+        if !terms.is_empty() && sat::is_sat(&region.clone().and2(Formula::or(terms))) {
+            return None;
+        }
+        return Some(Precondition {
+            kind: PreconditionKind::NonTerminating,
+            region,
+        });
+    }
+    if !terms.is_empty() && !unknowns.is_empty() {
+        let region = simplify::prune(&Formula::or(terms));
+        if !sat::is_sat(&region) {
+            return None;
+        }
+        return Some(Precondition {
+            kind: PreconditionKind::Terminating,
+            region,
+        });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::SummaryCase;
+    use tnt_logic::{num, var, Constraint};
+
+    fn summary(cases: Vec<SummaryCase>) -> MethodSummary {
+        MethodSummary {
+            method: "m".to_string(),
+            scenario_index: 0,
+            vars: vec!["x".to_string()],
+            cases,
+            precondition: None,
+        }
+    }
+
+    fn term(guard: Formula) -> SummaryCase {
+        SummaryCase {
+            guard,
+            status: CaseStatus::Term(vec![]),
+        }
+    }
+
+    fn looping(guard: Formula) -> SummaryCase {
+        SummaryCase {
+            guard,
+            status: CaseStatus::Loop,
+        }
+    }
+
+    fn unknown(guard: Formula) -> SummaryCase {
+        SummaryCase {
+            guard,
+            status: CaseStatus::MayLoop,
+        }
+    }
+
+    fn ge0() -> Formula {
+        Constraint::ge(var("x"), num(0)).into()
+    }
+
+    fn lt0() -> Formula {
+        Constraint::lt(var("x"), num(0)).into()
+    }
+
+    #[test]
+    fn loop_case_yields_nonterm_precondition() {
+        let pre = precondition_of(&summary(vec![term(lt0()), looping(ge0())])).unwrap();
+        assert_eq!(pre.kind, PreconditionKind::NonTerminating);
+        assert!(tnt_logic::entail::equivalent(&pre.region, &ge0()));
+    }
+
+    #[test]
+    fn term_mayloop_mix_yields_term_precondition() {
+        let pre = precondition_of(&summary(vec![term(lt0()), unknown(ge0())])).unwrap();
+        assert_eq!(pre.kind, PreconditionKind::Terminating);
+        assert!(tnt_logic::entail::equivalent(&pre.region, &lt0()));
+    }
+
+    #[test]
+    fn definite_everywhere_summaries_carry_none() {
+        assert!(precondition_of(&summary(vec![term(lt0()), term(ge0())])).is_none());
+        assert!(precondition_of(&summary(vec![unknown(Formula::True)])).is_none());
+        assert!(precondition_of(&summary(vec![])).is_none());
+    }
+
+    #[test]
+    fn overlapping_loop_and_term_guards_are_rejected() {
+        // Violates the exclusivity invariant — the defensive check must refuse
+        // to emit a non-termination precondition rather than claim ⊥-ward.
+        assert!(precondition_of(&summary(vec![term(ge0()), looping(ge0())])).is_none());
+    }
+}

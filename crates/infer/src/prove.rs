@@ -8,7 +8,8 @@ use tnt_logic::{dnf, entail, qe, sat, simplify, Constraint, Formula, Lin, RelOp}
 use tnt_solver::lexicographic::synthesize_lexicographic_mixed;
 use tnt_solver::multiphase::synthesize_multiphase;
 use tnt_solver::ranking::{NodeId, RankingProblem, Transition};
-use tnt_solver::{farkas, Ineq, MeasureItem};
+use tnt_solver::recurrent::{RecurrentProblem, RecurrentSet, RecurrentTransition};
+use tnt_solver::{farkas, Ineq, MeasureItem, Rational};
 
 /// Configuration switches of the prover (exposed for the ablation benchmarks).
 #[derive(Clone, Copy, Debug)]
@@ -25,6 +26,10 @@ pub struct ProveOptions {
     pub multiphase: bool,
     /// Maximum depth of a nested multiphase tuple.
     pub max_phases: usize,
+    /// Allow closed recurrent-set synthesis ([`tnt_solver::recurrent`]) as the
+    /// non-termination fall-back when the obligation-coverage proof of
+    /// `prove_NonTerm` fails, and as the validation fall-back for `Loop` cases.
+    pub recurrent: bool,
 }
 
 impl Default for ProveOptions {
@@ -35,6 +40,7 @@ impl Default for ProveOptions {
             enable_case_split: true,
             multiphase: true,
             max_phases: 3,
+            recurrent: true,
         }
     }
 }
@@ -180,6 +186,13 @@ pub struct ConditionalCase {
 /// inductiveness closes the reachable states under internal edges, and the measure
 /// is bounded and decreasing on every restricted transition — so every call chain
 /// starting inside the region terminates, no matter the caller.
+///
+/// External successors need *not* be unconditionally `Term`: an edge leaving the
+/// SCC towards a `Loop`/`MayLoop`/unknown target is tolerated when it is
+/// *infeasible under the restricted region* — every guard cube of the edge,
+/// conjoined with the source node's inductive atoms, must admit a Farkas
+/// certificate of rational infeasibility (`premises ⇒ −1 ≥ 0`). Executions
+/// inside the region then only ever take internal edges or terminating exits.
 pub fn prove_term_conditional(
     scc: &[String],
     graph: &ReachGraph,
@@ -274,7 +287,33 @@ pub fn prove_term_conditional(
     if atoms.values().all(|a| a.is_empty()) {
         return None;
     }
-    // 4. Ranking synthesis on the invariant-restricted transitions, through the
+    // 4. Forbidden external edges: any edge leaving the SCC towards a target not
+    //    known to terminate must be infeasible under the source node's inductive
+    //    atoms, certified by Farkas rational infeasibility. Otherwise a region
+    //    state could escape into a possibly-diverging continuation.
+    let absurd = Ineq::ge_zero(Lin::constant(-Rational::one()));
+    for edge in &graph.edges {
+        if !members.contains(&edge.src) {
+            continue;
+        }
+        let tolerable = match &edge.target {
+            EdgeTarget::Term => true,
+            EdgeTarget::Unknown { pre, .. } => members.contains(pre),
+            EdgeTarget::Loop | EdgeTarget::MayLoop => false,
+        };
+        if tolerable {
+            continue;
+        }
+        let src_atoms = atoms.get(&edge.src).cloned().unwrap_or_default();
+        for cube in guard_cubes(&edge.ctx) {
+            let mut premises = cube;
+            premises.extend(src_atoms.iter().cloned());
+            if !farkas::implies(&premises, &absurd) {
+                return None;
+            }
+        }
+    }
+    // 5. Ranking synthesis on the invariant-restricted transitions, through the
     //    full fall-back chain (linear → lexicographic/max → multiphase).
     let (problem, node_of) = ranking_problem(scc, graph, theta, &atoms)?;
     let measure = synthesize_measure(&problem, options)?;
@@ -410,6 +449,64 @@ pub fn prove_nonterm(
     theta: &Theta,
     options: &ProveOptions,
 ) -> NonTermOutcome {
+    prove_nonterm_assuming(scc, obligations, theta, options, &BTreeSet::new())
+}
+
+/// Guards of obligation items whose callee post-predicate is definitely
+/// unreachable: `False` items, `Unknown` items whose paired pre-predicate
+/// belongs to the SCC (the induction hypothesis), and `Unknown` items whose
+/// post is in `assumed_false` (a coinductive hypothesis supplied by the
+/// caller). Returns `(has_items, usable)`.
+fn usable_guards(
+    obligation: &Obligation,
+    scc: &[String],
+    theta: &Theta,
+    assumed_false: &BTreeSet<String>,
+) -> (bool, Vec<Formula>) {
+    let mut usable: Vec<Formula> = Vec::new();
+    let mut has_items = false;
+    for item in &obligation.items {
+        match item {
+            ObligationItem::False(guard) => {
+                has_items = true;
+                usable.push(guard.clone());
+            }
+            ObligationItem::True(_) => has_items = true,
+            ObligationItem::Unknown { guard, post, .. } => {
+                has_items = true;
+                let in_scc = theta
+                    .case_of_post(post)
+                    .and_then(|(root, index)| theta.definition(root).map(|d| (d, index)))
+                    .and_then(|(def, index)| match &def.cases[index].state {
+                        crate::theta::CaseState::Unknown { pre, .. } => Some(pre.clone()),
+                        _ => None,
+                    })
+                    .map(|paired| scc.contains(&paired))
+                    .unwrap_or(false);
+                if in_scc || assumed_false.contains(post) {
+                    usable.push(guard.clone());
+                }
+            }
+        }
+    }
+    (has_items, usable)
+}
+
+/// [`prove_nonterm`] extended with coinductive hypotheses: the posts listed in
+/// `assumed_false` are treated as unreachable in addition to the SCC's own.
+///
+/// The validation pass uses this to re-check each resolved `Loop` case against
+/// the *final* store: there every `Loop` resolution is re-proven
+/// simultaneously, so assuming the other `Loop` posts false is sound by
+/// infinite descent — a shortest execution reaching any assumed-false post
+/// would have to pass through a strictly shorter one.
+pub fn prove_nonterm_assuming(
+    scc: &[String],
+    obligations: &[Obligation],
+    theta: &Theta,
+    options: &ProveOptions,
+    assumed_false: &BTreeSet<String>,
+) -> NonTermOutcome {
     let mut outcome = NonTermOutcome::default();
     let mut all_ok = true;
     for pre in scc {
@@ -433,34 +530,7 @@ pub fn prove_nonterm(
         let mut candidates: Vec<Formula> = Vec::new();
         for obligation in relevant {
             let context = obligation.ctx.clone().and2(obligation.mu.clone());
-            // Guards usable by the induction hypothesis: definitely-false callee posts
-            // and unknown posts whose paired pre-predicate belongs to this SCC.
-            let mut usable: Vec<Formula> = Vec::new();
-            let mut has_items = false;
-            for item in &obligation.items {
-                match item {
-                    ObligationItem::False(guard) => {
-                        has_items = true;
-                        usable.push(guard.clone());
-                    }
-                    ObligationItem::True(_) => has_items = true,
-                    ObligationItem::Unknown { guard, post, .. } => {
-                        has_items = true;
-                        let in_scc = theta
-                            .case_of_post(post)
-                            .and_then(|(root, index)| theta.definition(root).map(|d| (d, index)))
-                            .and_then(|(def, index)| match &def.cases[index].state {
-                                crate::theta::CaseState::Unknown { pre, .. } => Some(pre.clone()),
-                                _ => None,
-                            })
-                            .map(|paired| scc.contains(&paired))
-                            .unwrap_or(false);
-                        if in_scc {
-                            usable.push(guard.clone());
-                        }
-                    }
-                }
-            }
+            let (has_items, usable) = usable_guards(obligation, scc, theta, assumed_false);
             if !has_items {
                 // Base-case form ρ ∧ true ⇒ (µ ⇒ U_po): unreachability needs UNSAT(ρ∧µ),
                 // which specialisation has already ruled out — the proof fails and no
@@ -503,6 +573,140 @@ pub fn prove_nonterm(
         outcome.splits.clear();
     }
     outcome
+}
+
+/// A successful recurrent-set non-termination proof for a single-node SCC.
+#[derive(Clone, Debug)]
+pub struct RecurrentOutcome {
+    /// The pre-predicate the certificate belongs to.
+    pub pre: String,
+    /// The synthesized certificate: inductive atoms plus a concrete entry state.
+    pub set: RecurrentSet,
+    /// The recurrent region as a formula (conjunction of the certificate atoms).
+    pub region: Formula,
+    /// Pairwise-disjoint cover of the case remainder outside the region; empty
+    /// when the whole case guard lies inside the region.
+    pub remainder: Vec<Formula>,
+}
+
+/// Closed recurrent-set synthesis for a self-recursive case: the fall-back
+/// non-termination prover when [`prove_nonterm`]'s whole-guard coverage proof
+/// fails (typically because only *part* of the case's state space diverges).
+///
+/// The prover builds a [`RecurrentProblem`] from the guard cubes of the case's
+/// internal (self) edges, harvests candidate atoms from the source-state part
+/// of those cubes and the case guard, prunes them on deterministic concrete
+/// valuations (the DynamiTe-style sample pre-filter), and certifies the
+/// surviving set `S` per-transition with Farkas implications. A successful
+/// certificate is re-validated on the sampled valuations as a built-in
+/// self-check before it is trusted.
+///
+/// Soundness of the `Loop` resolution on `guard ∧ S`: `S` is closed under
+/// every internal transition choice, and the exit-obligation coverage below
+/// shows no execution from `S` reaches the case's post-predicate except
+/// through a recursive instance that re-enters `S` — infinite descent on the
+/// length of a hypothetical shortest post-reaching execution. Multi-node SCCs
+/// (mutual recursion) are out of scope and return `None`.
+pub fn prove_nonterm_recurrent(
+    scc: &[String],
+    graph: &ReachGraph,
+    obligations: &[Obligation],
+    theta: &Theta,
+    options: &ProveOptions,
+    assumed_false: &BTreeSet<String>,
+) -> Option<RecurrentOutcome> {
+    if !options.recurrent || scc.len() != 1 {
+        return None;
+    }
+    let pre = &scc[0];
+    let vars = theta.vars_of_pre(pre)?.to_vec();
+    let post = theta.post_of_pre(pre)?.clone();
+    let guard = theta.guard_of_pre(pre)?.clone();
+    let formals: BTreeSet<&str> = vars.iter().map(String::as_str).collect();
+    let over_formals = |atom: &Ineq| atom.expr().vars().all(|v| formals.contains(v));
+    // One recurrent transition per guard cube of every internal edge, with the
+    // destination state bound to fresh `@rec…` variables. Source-state atoms of
+    // the cubes double as candidate atoms for the set.
+    let mut problem = RecurrentProblem::new(vars.clone());
+    let mut candidates: Vec<Ineq> = Vec::new();
+    for (edge_index, edge) in graph.internal_edges(scc).iter().enumerate() {
+        let EdgeTarget::Unknown { args, .. } = &edge.target else {
+            continue;
+        };
+        if args.len() != vars.len() {
+            return None;
+        }
+        for (cube_index, mut cube) in guard_cubes(&edge.ctx).into_iter().enumerate() {
+            for atom in cube.iter().filter(|a| over_formals(a)) {
+                if !candidates.contains(atom) {
+                    candidates.push(atom.clone());
+                }
+            }
+            let mut dst_vars = Vec::new();
+            for (i, arg) in args.iter().enumerate() {
+                let name = format!("@rec{edge_index}_{cube_index}_{i}");
+                cube.extend(Ineq::eq_zero(Lin::var(name.clone()).sub(arg)));
+                dst_vars.push(name);
+            }
+            problem.add_transition(RecurrentTransition::new(dst_vars, args.clone(), cube));
+        }
+    }
+    if problem.transitions().is_empty() {
+        return None;
+    }
+    // The case guard's own atoms are candidates too — the divergent region is
+    // often the guard itself or a strengthening of it.
+    for cube in guard_cubes(&guard) {
+        for atom in cube.iter().filter(|a| over_formals(a)) {
+            if !candidates.contains(atom) {
+                candidates.push(atom.clone());
+            }
+        }
+    }
+    // Deterministic concrete valuations seed the sample pre-filter and the
+    // closure self-check; the fixed seed keeps every run reproducible.
+    let var_refs: Vec<&str> = vars.iter().map(String::as_str).collect();
+    let samples: Vec<BTreeMap<String, Rational>> =
+        tnt_logic::testgen::seeded_int_envs(0x5EED_2EC5, &var_refs, -16..17, 24)
+            .into_iter()
+            .map(|env| env.into_iter().map(|(v, n)| (v, Rational::from(n))).collect())
+            .collect();
+    let set = problem.synthesize(&candidates, &samples)?;
+    if !problem.closed_on_samples(&set, &samples) {
+        return None;
+    }
+    // Exit coverage: under `S`, the case's post-predicate must be unreachable.
+    // Same obligation discipline as `prove_nonterm`, with `S` strengthening the
+    // context of every obligation targeting this post.
+    let region = region_of(&set.atoms);
+    for obligation in obligations.iter().filter(|o| o.target_post == post) {
+        let context = region
+            .clone()
+            .and2(obligation.ctx.clone())
+            .and2(obligation.mu.clone());
+        let (has_items, usable) = usable_guards(obligation, scc, theta, assumed_false);
+        if !has_items {
+            // Base-case exit: must already be infeasible inside the region.
+            if sat::is_sat(&context) {
+                return None;
+            }
+            continue;
+        }
+        if !entail::entails(&context, &Formula::or(usable)) {
+            return None;
+        }
+    }
+    let remainder = if entail::entails(&guard, &region) {
+        Vec::new()
+    } else {
+        remainder_of(&set.atoms)
+    };
+    Some(RecurrentOutcome {
+        pre: pre.clone(),
+        set,
+        region,
+        remainder,
+    })
 }
 
 /// Abductive inference of a strengthening condition `α` over `vars` such that

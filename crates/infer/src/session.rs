@@ -87,6 +87,7 @@ impl InferOptions {
             max_lex_components,
             multiphase,
             max_phases,
+            recurrent,
             validate,
             work_budget,
             max_total_cases,
@@ -94,7 +95,8 @@ impl InferOptions {
         format!(
             "it={max_iterations};bc={enable_base_case};cs={enable_case_split};\
              lex={lexicographic};lc={max_lex_components};mp={multiphase};\
-             ph={max_phases};val={validate};wb={work_budget};tc={max_total_cases}"
+             ph={max_phases};rec={recurrent};val={validate};wb={work_budget};\
+             tc={max_total_cases}"
         )
     }
 }

@@ -1,7 +1,10 @@
 //! The overall inference algorithm `solve` (Fig. 6) and the post-hoc validation of the
 //! inferred definitions.
 
-use crate::prove::{prove_nonterm, prove_term, prove_term_conditional, split, ProveOptions};
+use crate::prove::{
+    prove_nonterm, prove_nonterm_assuming, prove_nonterm_recurrent, prove_term,
+    prove_term_conditional, split, ProveOptions,
+};
 use crate::specialize::{specialize_post, specialize_pre, EdgeTarget, ReachGraph};
 use crate::theta::{CaseState, Theta};
 use std::collections::BTreeSet;
@@ -28,6 +31,9 @@ pub struct SolveOptions {
     pub multiphase: bool,
     /// Maximum depth of a nested multiphase tuple.
     pub max_phases: usize,
+    /// Enable closed recurrent-set synthesis as the non-termination fall-back
+    /// (and during validation of `Loop` cases).
+    pub recurrent: bool,
     /// Deterministic work budget, counted in *work units*: simplex pivots plus DNF
     /// cubes produced (the two super-linear cores of the back-end). When the
     /// refinement loop has spent more than this, remaining unknown cases are left
@@ -53,6 +59,7 @@ impl Default for SolveOptions {
             max_lex_components: 4,
             multiphase: true,
             max_phases: 3,
+            recurrent: true,
             work_budget: 20_000,
             max_total_cases: 64,
         }
@@ -67,6 +74,7 @@ impl SolveOptions {
             enable_case_split: self.enable_case_split,
             multiphase: self.multiphase,
             max_phases: self.max_phases,
+            recurrent: self.recurrent,
         }
     }
 }
@@ -220,22 +228,47 @@ pub fn solve(analysis: &ProgramAnalysis, options: &SolveOptions) -> (Theta, Solv
             // measure exists (gcd-style loops entered with positive arguments).
             // Attempted before abductive splitting, which cannot recover call-site
             // information and tends to fragment such cases until the budget runs out.
-            if all_term {
-                stats.ranking_attempts += 1;
-                if let Some(cases) = prove_term_conditional(&scc, &graph, &theta, &prove_options)
-                {
-                    for (pre, case) in cases {
-                        if case.remainder.is_empty() {
-                            theta.resolve(&pre, CaseState::Term(case.measure));
-                        } else {
-                            let mut parts =
-                                vec![(case.region, Some(CaseState::Term(case.measure)))];
-                            parts.extend(case.remainder.into_iter().map(|f| (f, None)));
-                            theta.split_case(&pre, parts);
-                        }
+            // Not gated on all-`Term` successors: the prover itself certifies that
+            // every edge towards a non-`Term` target is infeasible inside the region.
+            stats.ranking_attempts += 1;
+            if let Some(cases) = prove_term_conditional(&scc, &graph, &theta, &prove_options) {
+                for (pre, case) in cases {
+                    if case.remainder.is_empty() {
+                        theta.resolve(&pre, CaseState::Term(case.measure));
+                    } else {
+                        let mut parts = vec![(case.region, Some(CaseState::Term(case.measure)))];
+                        parts.extend(case.remainder.into_iter().map(|f| (f, None)));
+                        theta.split_case(&pre, parts);
                     }
-                    // The graph changed shape: restart the iteration (line 11 of
-                    // Fig. 6), exactly as after an abductive case split.
+                }
+                // The graph changed shape: restart the iteration (line 11 of
+                // Fig. 6), exactly as after an abductive case split.
+                continue 'outer;
+            }
+            // Closed recurrent-set synthesis: the non-termination fall-back for
+            // cases where only part of the state space diverges and the region
+            // must be *discovered* rather than read off the case structure (the
+            // aperiodic class). A whole-guard certificate resolves the case to
+            // `Loop`; a partial one splits the case on the recurrent region.
+            if prove_options.recurrent && scc.len() == 1 {
+                stats.nonterm_attempts += 1;
+                if let Some(rec) = prove_nonterm_recurrent(
+                    &scc,
+                    &graph,
+                    &obligations,
+                    &theta,
+                    &prove_options,
+                    &BTreeSet::new(),
+                ) {
+                    if rec.remainder.is_empty() {
+                        theta.resolve(&rec.pre, CaseState::Loop);
+                        progressed = true;
+                        continue;
+                    }
+                    stats.case_splits += 1;
+                    let mut parts = vec![(rec.region, Some(CaseState::Loop))];
+                    parts.extend(rec.remainder.into_iter().map(|f| (f, None)));
+                    theta.split_case(&rec.pre, parts);
                     continue 'outer;
                 }
             }
@@ -351,6 +384,30 @@ fn validate_within_budget(analysis: &ProgramAnalysis, theta: &Theta, budget: u64
     let graph = ReachGraph::build(edges, &resolved_theta.unresolved_pres());
     let obligations = specialize_post(analysis, &resolved_theta);
     let options = ProveOptions::default();
+    // Coinductive hypotheses for the `Loop` re-checks: the post-predicates of
+    // every case the final store resolved to `Loop`. Every such case is
+    // re-proven below, so assuming the others' posts unreachable is sound by
+    // infinite descent — a shortest execution reaching any of these posts would
+    // have to pass through a strictly shorter one. Without this, a `Loop` case
+    // whose proof leans on a *callee's* divergence (e.g. a wrapper around a
+    // diverging loop) would fail its re-check: the callee's pre sits in another
+    // SCC, so the plain induction hypothesis cannot use it.
+    let mut loop_posts: BTreeSet<String> = BTreeSet::new();
+    for (root, def) in theta.definitions() {
+        let Some(view_def) = resolved_theta.definition(root) else {
+            continue;
+        };
+        for (index, case) in def.cases.iter().enumerate() {
+            if !matches!(case.state, CaseState::Loop) {
+                continue;
+            }
+            if let Some(CaseState::Unknown { post, .. }) =
+                view_def.cases.get(index).map(|c| &c.state)
+            {
+                loop_posts.insert(post.clone());
+            }
+        }
+    }
     for scc in &graph.sccs {
         if over_budget() {
             return false;
@@ -369,9 +426,24 @@ fn validate_within_budget(analysis: &ProgramAnalysis, theta: &Theta, budget: u64
                 return false;
             }
         if states.iter().any(|s| matches!(s, CaseState::Loop)) {
-            let outcome = prove_nonterm(scc, &obligations, &resolved_theta, &options);
+            let outcome =
+                prove_nonterm_assuming(scc, &obligations, &resolved_theta, &options, &loop_posts);
             if !outcome.success {
-                return false;
+                // Fall back to recurrent-set synthesis: a `Loop` resolution
+                // produced by that prover may not be re-derivable through the
+                // obligation-coverage argument. The re-synthesized set must
+                // cover the *whole* case guard, which is what the store claims.
+                let rec = prove_nonterm_recurrent(
+                    scc,
+                    &graph,
+                    &obligations,
+                    &resolved_theta,
+                    &options,
+                    &loop_posts,
+                );
+                if !rec.map(|o| o.remainder.is_empty()).unwrap_or(false) {
+                    return false;
+                }
             }
         }
     }

@@ -50,6 +50,40 @@ impl SummaryCase {
     }
 }
 
+/// Which behaviour an inferred precondition region guarantees.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PreconditionKind {
+    /// Every input inside the region terminates.
+    Terminating,
+    /// Every input inside the region diverges.
+    NonTerminating,
+}
+
+impl fmt::Display for PreconditionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PreconditionKind::Terminating => write!(f, "terminating"),
+            PreconditionKind::NonTerminating => write!(f, "non-terminating"),
+        }
+    }
+}
+
+/// An inferred input precondition: a region of the formal-parameter space on
+/// which the scenario's temporal behaviour is definite, carried alongside the
+/// Y/N/U verdict.
+///
+/// Only summaries whose verdict is *not* already definite-everywhere carry one
+/// (see [`crate::precondition::precondition_of`]): a non-termination
+/// precondition under verdict `N`, or a termination precondition under
+/// verdict `U` when some cases are proven terminating.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Precondition {
+    /// What the region guarantees.
+    pub kind: PreconditionKind,
+    /// The region, a formula over the scenario's measure variables.
+    pub region: Formula,
+}
+
 /// The whole-program verdict in SV-COMP terms.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Verdict {
@@ -82,6 +116,9 @@ pub struct MethodSummary {
     pub vars: Vec<String>,
     /// The inferred cases (guards are feasible, exclusive and exhaustive).
     pub cases: Vec<SummaryCase>,
+    /// The inferred input precondition, when the case structure pins down a
+    /// definite region beyond the plain verdict (`None` otherwise).
+    pub precondition: Option<Precondition>,
 }
 
 impl MethodSummary {
@@ -119,6 +156,9 @@ impl MethodSummary {
             ));
         }
         out.push('}');
+        if let Some(pre) = &self.precondition {
+            out.push_str(&format!("\nprecondition {}: {}", pre.kind, pre.region));
+        }
         out
     }
 }
@@ -155,12 +195,15 @@ pub fn summaries(analysis: &ProgramAnalysis, theta: &Theta) -> Vec<MethodSummary
             })
             .collect();
         let _ = label;
-        out.push(MethodSummary {
+        let mut summary = MethodSummary {
             method: method.method.clone(),
             scenario_index: method.scenario_index,
             vars: method.vars.clone(),
             cases,
-        });
+            precondition: None,
+        };
+        summary.precondition = crate::precondition::precondition_of(&summary);
+        out.push(summary);
     }
     out
 }
@@ -176,6 +219,7 @@ mod tests {
             scenario_index: 0,
             vars: vec!["x".to_string()],
             cases,
+            precondition: None,
         }
     }
 

@@ -47,8 +47,7 @@ pub mod formula;
 pub mod qe;
 pub mod sat;
 pub mod simplify;
-#[cfg(test)]
-mod testgen;
+pub mod testgen;
 
 pub use constraint::{Constraint, RelOp};
 pub use formula::Formula;

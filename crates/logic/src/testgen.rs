@@ -1,9 +1,14 @@
-//! Shared random-value generators for this crate's property tests.
+//! Shared random-value generators for property tests and sampling clients.
 //!
 //! The property tests run bounded randomised loops over a deterministic
 //! [`SmallRng`] seed (the offline stand-in for `proptest`, which is not
 //! available in this build environment): every failure is reproducible from
 //! the seed embedded in the test.
+//!
+//! The module is public because the inference engine reuses [`int_env`] as a
+//! DynamiTe-style concrete-valuation source: sampled integer environments
+//! seed and re-validate the recurrent-set synthesis of
+//! `tnt_solver::recurrent` (see `tnt-infer`).
 
 use crate::constraint::Constraint;
 use crate::formula::Formula;
@@ -32,6 +37,21 @@ pub fn int_env(
     vars.iter()
         .map(|v| (v.to_string(), rng.gen_range(range.clone())))
         .collect()
+}
+
+/// `count` deterministic integer environments drawn from a fixed seed.
+///
+/// This is the concrete-valuation source for recurrent-set synthesis: the
+/// caller names a seed so every run (and every failure) is reproducible.
+pub fn seeded_int_envs(
+    seed: u64,
+    vars: &[&str],
+    range: std::ops::Range<i128>,
+    count: usize,
+) -> Vec<BTreeMap<String, i128>> {
+    use rand::SeedableRng;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..count).map(|_| int_env(&mut rng, vars, range.clone())).collect()
 }
 
 /// A random atomic constraint `lhs op 0` with `op` drawn from `ops` operator

@@ -18,15 +18,18 @@
 //! text. One response per line, in request order:
 //!
 //! ```text
-//! {"id":1,"status":"ok","verdict":"Y","cached":false,"tier":null,"work":63,
-//!  "poisoned":false,"validated":true,"elapsed_s":0.002,
+//! {"id":1,"status":"ok","verdict":"Y","precondition":null,"cached":false,
+//!  "tier":null,"work":63,"poisoned":false,"validated":true,"elapsed_s":0.002,
 //!  "summaries":{"f":"case {\n  x <= 0 -> requires Term ensures true;\n  ...}"}}
 //! ```
 //!
 //! `verdict` is the benchmark verdict (`Y`/`N`/`U`, with `T/O` when the
-//! analysis gave up on budget), `tier` names the cache tier that served a
-//! repeat (`"dedup"`, `"memory"`, `"store"`), and `summaries` maps each
-//! summary label to its rendered case-based specification. Malformed requests
+//! analysis gave up on budget), `precondition` carries the entry point's
+//! inferred input precondition as `{"kind":"terminating"|"non-terminating",
+//! "region":"…"}` — or `null` for a plain verdict, so the schema is stable —
+//! `tier` names the cache tier that served a repeat (`"dedup"`, `"memory"`,
+//! `"store"`), and `summaries` maps each summary label to its rendered
+//! case-based specification. Malformed requests
 //! and failed analyses produce `{"id":…,"status":"error","error":"…"}` — the
 //! loop never dies on a bad request, and a panicking analysis is isolated by
 //! the session's per-program `catch_unwind` machinery.
@@ -126,7 +129,18 @@ fn render_response(id: &Value, entry: &BatchEntry) -> String {
     emit_value(id, &mut out);
     out.push_str(",\"status\":\"ok\",\"verdict\":\"");
     out.push_str(verdict);
-    out.push_str("\",\"cached\":");
+    out.push_str("\",\"precondition\":");
+    match result.program_precondition() {
+        Some(pre) => {
+            out.push_str("{\"kind\":\"");
+            json_escape_into(&pre.kind.to_string(), &mut out);
+            out.push_str("\",\"region\":\"");
+            json_escape_into(&pre.region.to_string(), &mut out);
+            out.push_str("\"}");
+        }
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"cached\":");
     out.push_str(if entry.tier.is_some() { "true" } else { "false" });
     out.push_str(",\"tier\":");
     match entry.tier {
@@ -262,6 +276,37 @@ mod tests {
         assert_eq!(cold.get("summaries"), warm.get("summaries"));
         assert_eq!(cold.get("work"), warm.get("work"));
         assert_eq!(server.stats().memory_hits, 1);
+    }
+
+    #[test]
+    fn plain_verdicts_serialize_a_null_precondition() {
+        let server = Server::new(InferOptions::default());
+        let resp = parse(&server.handle_line(&format!(
+            "{{\"id\": 1, \"source\": \"{}\"}}",
+            TERMINATING.replace('"', "\\\"")
+        )));
+        // Schema stability: the member is always present, null when no
+        // precondition was inferred.
+        let pre = resp.get("precondition").expect("member always present");
+        assert!(pre.is_null());
+    }
+
+    #[test]
+    fn nonterminating_precondition_round_trips_through_the_parser() {
+        let server = Server::new(InferOptions::default());
+        let source = "void main(int j, int k) { while (k >= 0) { k = k + 1; j = k; \
+                      while (j >= 1) { j = j - 1; } } }";
+        let resp = parse(&server.handle_line(&format!(
+            "{{\"id\": 7, \"source\": \"{}\"}}",
+            source.replace('"', "\\\"")
+        )));
+        assert_eq!(resp.get("verdict").and_then(Value::as_str), Some("N"));
+        let pre = resp.get("precondition").unwrap();
+        assert_eq!(
+            pre.get("kind").and_then(Value::as_str),
+            Some("non-terminating")
+        );
+        assert_eq!(pre.get("region").and_then(Value::as_str), Some("k >= 0"));
     }
 
     #[test]

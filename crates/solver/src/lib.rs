@@ -25,6 +25,10 @@
 //!   (each phase decreases once the previous ones are exhausted) and the max-based
 //!   measure domain, both encoded through the same Farkas/simplex machinery and
 //!   re-certified by sound concrete checks before use.
+//! * [`recurrent`] — closed recurrent-set synthesis for non-termination
+//!   certificates: a polyhedral set with an entry state, closed under every
+//!   transition, Houdini-shrunk from sample-pruned candidate atoms and
+//!   certified per transition through the same Farkas implication check.
 //!
 //! The crate is independent of the logic front-end: variables are plain strings and
 //! constraints are affine expressions in `≥ 0` normal form ([`linear::Ineq`]).
@@ -62,6 +66,7 @@ pub mod lp;
 pub mod multiphase;
 pub mod ranking;
 pub mod rational;
+pub mod recurrent;
 pub mod simplex;
 
 pub use linear::{Ineq, Lin};

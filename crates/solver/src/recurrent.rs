@@ -1,0 +1,502 @@
+//! Closed recurrent-set synthesis for non-termination certificates.
+//!
+//! `prove_NonTerm` (paper Fig. 9) refutes reachability of a post-predicate by
+//! covering every exit obligation with already-divergent cases. That argument
+//! reads the divergent region off the existing case structure and therefore
+//! misses the *aperiodic* non-termination class (NtHorn's `nt-nimkar-fig1.4`),
+//! where the region must be discovered. This module synthesizes the missing
+//! ingredient: a polyhedral **recurrent set**
+//! `S = { v | a₁(v) ≥ 0 ∧ … ∧ aₙ(v) ≥ 0 }` together with an explicit entry
+//! state, such that `S` is *closed* under every transition of the loop: for
+//! each guarded step `ρ(v, v′)`, `S(v) ∧ ρ(v, v′) ⇒ S(v′)`. Closure is
+//! certified per transition through the same Farkas'-lemma implication check
+//! the multiphase measures use ([`crate::farkas::implies`]), so a returned set
+//! is sound by construction; callers additionally re-validate it on sampled
+//! concrete valuations as a built-in self-check
+//! ([`RecurrentProblem::closed_on_samples`]).
+//!
+//! Candidate atoms are pruned DynamiTe-style before any LP is solved: concrete
+//! sample states cheaply refute non-inductive candidates by simulating one
+//! transition step, and the survivors are then shrunk to their greatest
+//! inductive subset by a Houdini loop over the Farkas checks.
+
+use crate::farkas;
+use crate::linear::{Ineq, Lin};
+use crate::lp::{LpProblem, VarKind};
+use crate::rational::Rational;
+use crate::simplex;
+use std::collections::BTreeMap;
+
+/// One guarded transition (a recursive self-call of the loop predicate).
+///
+/// The guard is a conjunction of linear constraints (each `≥ 0`) over the
+/// source-state variables, any auxiliary variables of the call context, and
+/// the names in `dst_vars`, which carry — in formal-parameter order — the
+/// values passed to the next loop instance. `args` gives the same values as
+/// affine update expressions over the source state, which is what the sample
+/// simulation evaluates.
+#[derive(Clone, Debug)]
+pub struct RecurrentTransition {
+    /// For each formal parameter (in order), the guard variable holding its post-step value.
+    pub dst_vars: Vec<String>,
+    /// For each formal parameter (in order), its post-step value as an affine
+    /// expression over the source state (used for concrete sample simulation).
+    pub args: Vec<Lin>,
+    /// Conjunction of linear constraints (each `≥ 0`) describing one step.
+    ///
+    /// Must include the binding equalities `dst_vars[i] = args[i]` (e.g. via
+    /// [`Ineq::eq_zero`]): the Farkas closure checks relate source and
+    /// destination state only through these guard constraints.
+    pub guard: Vec<Ineq>,
+}
+
+impl RecurrentTransition {
+    /// Creates a transition.
+    pub fn new(dst_vars: Vec<String>, args: Vec<Lin>, guard: Vec<Ineq>) -> Self {
+        RecurrentTransition {
+            dst_vars,
+            args,
+            guard,
+        }
+    }
+}
+
+/// A synthesized recurrent set: the polyhedral region plus an entry witness.
+///
+/// Invariant (established by [`RecurrentProblem::synthesize`] and re-checkable
+/// with [`RecurrentProblem::is_inductive`]): the conjunction of `atoms` is
+/// closed under every transition of the originating problem, and `entry`
+/// satisfies every atom — so the set is non-empty and every execution that
+/// reaches it keeps taking steps inside it.
+#[derive(Clone, Debug)]
+pub struct RecurrentSet {
+    /// The atoms `aᵢ(v) ≥ 0` whose conjunction defines the set.
+    pub atoms: Vec<Ineq>,
+    /// A concrete state inside the set (the certificate's entry state).
+    pub entry: BTreeMap<String, Rational>,
+}
+
+impl RecurrentSet {
+    /// Whether a concrete state lies inside the set.
+    pub fn contains(&self, state: &BTreeMap<String, Rational>) -> bool {
+        self.atoms.iter().all(|a| a.holds(state))
+    }
+}
+
+/// A recurrent-set synthesis problem: one loop predicate with formal
+/// parameters and its guarded self-transitions.
+#[derive(Clone, Debug, Default)]
+pub struct RecurrentProblem {
+    vars: Vec<String>,
+    transitions: Vec<RecurrentTransition>,
+}
+
+impl RecurrentProblem {
+    /// Creates a problem over the given formal parameters.
+    pub fn new(vars: Vec<String>) -> Self {
+        RecurrentProblem {
+            vars,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Adds a transition. Panics if the argument count does not match the
+    /// formal parameters.
+    pub fn add_transition(&mut self, transition: RecurrentTransition) {
+        assert_eq!(
+            transition.dst_vars.len(),
+            self.vars.len(),
+            "transition destination count mismatch"
+        );
+        assert_eq!(
+            transition.args.len(),
+            self.vars.len(),
+            "transition argument count mismatch"
+        );
+        self.transitions.push(transition);
+    }
+
+    /// The formal parameters of the loop predicate.
+    pub fn vars(&self) -> &[String] {
+        &self.vars
+    }
+
+    /// The transitions of the problem.
+    pub fn transitions(&self) -> &[RecurrentTransition] {
+        &self.transitions
+    }
+
+    /// Synthesizes a recurrent set from candidate atoms, or `None` when no
+    /// non-trivial closed subset with an entry state exists (or the simplex
+    /// work deadline expires mid-search).
+    ///
+    /// Candidates mentioning variables outside the formals are ignored. The
+    /// samples serve two purposes: they cheaply refute non-inductive
+    /// candidates before any LP runs, and the first sample inside the final
+    /// set becomes the entry witness (with an LP feasibility fall-back when no
+    /// sample qualifies).
+    pub fn synthesize(
+        &self,
+        candidates: &[Ineq],
+        samples: &[BTreeMap<String, Rational>],
+    ) -> Option<RecurrentSet> {
+        if self.transitions.is_empty() {
+            return None;
+        }
+        let mut atoms: Vec<Ineq> = Vec::new();
+        for candidate in candidates {
+            let in_scope = candidate
+                .expr()
+                .vars()
+                .all(|v| self.vars.iter().any(|f| f == v));
+            if in_scope && !atoms.contains(candidate) {
+                atoms.push(candidate.clone());
+            }
+        }
+
+        // DynamiTe-style pre-filter: drop every candidate a concrete one-step
+        // simulation refutes. Dropping only weakens the conjunction, so this
+        // never loses soundness — the Farkas loop below certifies whatever
+        // survives.
+        let mut changed = true;
+        while changed && !atoms.is_empty() {
+            changed = false;
+            for sample in samples {
+                if !atoms.iter().all(|a| a.holds(sample)) {
+                    continue;
+                }
+                for transition in &self.transitions {
+                    let Some(dst) = self.concrete_step(transition, sample) else {
+                        continue;
+                    };
+                    let before = atoms.len();
+                    atoms.retain(|a| a.holds(&dst));
+                    if atoms.len() != before {
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        // Houdini: shrink to the greatest inductive subset, certifying closure
+        // per transition via Farkas' lemma.
+        loop {
+            if atoms.is_empty() || simplex::deadline_exceeded() {
+                return None;
+            }
+            let mut dropped = None;
+            'search: for transition in &self.transitions {
+                let mut premises = atoms.clone();
+                premises.extend(transition.guard.iter().cloned());
+                for (index, atom) in atoms.iter().enumerate() {
+                    let target = self.rename_to_dst(atom, transition);
+                    if !farkas::implies(&premises, &target) {
+                        dropped = Some(index);
+                        break 'search;
+                    }
+                }
+            }
+            match dropped {
+                Some(index) => {
+                    atoms.remove(index);
+                }
+                None => break,
+            }
+        }
+
+        let entry = samples
+            .iter()
+            .find(|s| atoms.iter().all(|a| a.holds(s)))
+            .map(|s| self.restrict(s))
+            .or_else(|| self.lp_witness(&atoms))?;
+        Some(RecurrentSet { atoms, entry })
+    }
+
+    /// Re-certifies that the conjunction of `atoms` is closed under every
+    /// transition (one sound Farkas implication check per transition × atom).
+    pub fn is_inductive(&self, atoms: &[Ineq]) -> bool {
+        self.transitions.iter().all(|transition| {
+            let mut premises = atoms.to_vec();
+            premises.extend(transition.guard.iter().cloned());
+            atoms
+                .iter()
+                .all(|atom| farkas::implies(&premises, &self.rename_to_dst(atom, transition)))
+        })
+    }
+
+    /// Concrete self-check: for every sample inside the set, every enabled
+    /// transition step must land back inside the set.
+    ///
+    /// This is the built-in re-validation of synthesized sets on sampled
+    /// valuations; a sound synthesis can never fail it, so a `false` here
+    /// indicates a solver defect and callers must discard the certificate.
+    pub fn closed_on_samples(
+        &self,
+        set: &RecurrentSet,
+        samples: &[BTreeMap<String, Rational>],
+    ) -> bool {
+        samples.iter().all(|sample| {
+            if !set.contains(sample) {
+                return true;
+            }
+            self.transitions.iter().all(|transition| {
+                match self.concrete_step(transition, sample) {
+                    Some(dst) => set.contains(&dst),
+                    None => true,
+                }
+            })
+        })
+    }
+
+    /// Simulates one step from `state`: pins auxiliary variables forced by the
+    /// guard's equalities (unit propagation), binds the destination variables
+    /// from the update expressions where the guard leaves them free, and
+    /// returns the successor state if the guard is satisfied (any remaining
+    /// unassigned variables default to zero, as in [`Lin::eval`]).
+    ///
+    /// The propagation matters for transitions extracted from call contexts,
+    /// whose update values flow through intermediate `aux = e` bindings: a
+    /// plain evaluation would read those auxiliaries as zero and disable (or
+    /// mis-simulate) the step.
+    fn concrete_step(
+        &self,
+        transition: &RecurrentTransition,
+        state: &BTreeMap<String, Rational>,
+    ) -> Option<BTreeMap<String, Rational>> {
+        let mut extended = state.clone();
+        // Equalities appear as `e ≥ 0` / `−e ≥ 0` atom pairs; each pins its
+        // single unassigned variable (if any) to the value making `e` zero.
+        let mut eq_exprs: Vec<&Lin> = Vec::new();
+        for (i, a) in transition.guard.iter().enumerate() {
+            for b in &transition.guard[i + 1..] {
+                if a.expr().add(b.expr()) == Lin::zero() {
+                    eq_exprs.push(a.expr());
+                }
+            }
+        }
+        let mut progress = true;
+        while progress {
+            progress = false;
+            for expr in &eq_exprs {
+                let mut unassigned = None;
+                let mut ambiguous = false;
+                for v in expr.vars() {
+                    if !extended.contains_key(v) {
+                        if unassigned.is_some() {
+                            ambiguous = true;
+                            break;
+                        }
+                        unassigned = Some(v.to_string());
+                    }
+                }
+                if ambiguous {
+                    continue;
+                }
+                let Some(v) = unassigned else { continue };
+                let coeff = expr.coeff(&v);
+                let rest = expr.substitute(&v, &Lin::zero());
+                extended.insert(v, -(rest.eval(&extended) * coeff.recip()));
+                progress = true;
+            }
+        }
+        for (dst_var, arg) in transition.dst_vars.iter().zip(&transition.args) {
+            if !extended.contains_key(dst_var) {
+                let value = arg.eval(&extended);
+                extended.insert(dst_var.clone(), value);
+            }
+        }
+        if !transition.guard.iter().all(|g| g.holds(&extended)) {
+            return None;
+        }
+        Some(
+            self.vars
+                .iter()
+                .zip(&transition.dst_vars)
+                .map(|(formal, dst_var)| {
+                    (
+                        formal.clone(),
+                        extended.get(dst_var).copied().unwrap_or_else(Rational::zero),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    /// Simultaneously renames the formals of an atom to a transition's
+    /// destination variables.
+    fn rename_to_dst(&self, atom: &Ineq, transition: &RecurrentTransition) -> Ineq {
+        let map: BTreeMap<&str, &str> = self
+            .vars
+            .iter()
+            .map(String::as_str)
+            .zip(transition.dst_vars.iter().map(String::as_str))
+            .collect();
+        let mut out = Lin::constant(atom.expr().constant_term());
+        for (v, c) in atom.expr().terms() {
+            out.add_term(map.get(v).copied().unwrap_or(v), c);
+        }
+        Ineq::ge_zero(out)
+    }
+
+    fn restrict(&self, state: &BTreeMap<String, Rational>) -> BTreeMap<String, Rational> {
+        self.vars
+            .iter()
+            .map(|v| {
+                (
+                    v.clone(),
+                    state.get(v).copied().unwrap_or_else(Rational::zero),
+                )
+            })
+            .collect()
+    }
+
+    /// Finds a rational entry state inside the atoms via LP feasibility.
+    fn lp_witness(&self, atoms: &[Ineq]) -> Option<BTreeMap<String, Rational>> {
+        let mut lp = LpProblem::new();
+        for v in &self.vars {
+            lp.declare(v, VarKind::Free);
+        }
+        for atom in atoms {
+            lp.require_nonneg(atom.expr().clone());
+        }
+        let solution = lp.solve();
+        if !solution.is_feasible() {
+            return None;
+        }
+        Some(
+            self.vars
+                .iter()
+                .map(|v| (v.clone(), solution.value(v)))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128) -> Rational {
+        Rational::from(n)
+    }
+
+    fn env(pairs: &[(&str, i128)]) -> BTreeMap<String, Rational> {
+        pairs.iter().map(|(v, n)| (v.to_string(), r(*n))).collect()
+    }
+
+    /// while (x >= 0) x = x + 1 — the whole guard region is recurrent.
+    fn incrementing_counter() -> RecurrentProblem {
+        let mut p = RecurrentProblem::new(vec!["x".to_string()]);
+        let mut guard = vec![Ineq::ge_zero(Lin::var("x"))];
+        guard.extend(Ineq::eq_zero(
+            Lin::var("x'").sub(&Lin::var("x")).add_const(r(-1)),
+        ));
+        p.add_transition(RecurrentTransition::new(
+            vec!["x'".into()],
+            vec![Lin::var("x").add_const(r(1))],
+            guard,
+        ));
+        p
+    }
+
+    #[test]
+    fn incrementing_counter_has_recurrent_set() {
+        let p = incrementing_counter();
+        let candidates = vec![Ineq::ge_zero(Lin::var("x"))];
+        let samples = vec![env(&[("x", 3)]), env(&[("x", -2)])];
+        let set = p.synthesize(&candidates, &samples).expect("x >= 0 recurs");
+        assert_eq!(set.atoms.len(), 1);
+        assert!(set.contains(&env(&[("x", 3)])));
+        assert!(!set.contains(&env(&[("x", -1)])));
+        assert_eq!(set.entry, env(&[("x", 3)]));
+        assert!(p.is_inductive(&set.atoms));
+        assert!(p.closed_on_samples(&set, &samples));
+    }
+
+    #[test]
+    fn countdown_admits_no_recurrent_set_from_its_guard() {
+        // while (x >= 0) x = x - 1 — x >= 0 is not closed (x = 0 steps out).
+        let mut p = RecurrentProblem::new(vec!["x".to_string()]);
+        let mut guard = vec![Ineq::ge_zero(Lin::var("x"))];
+        guard.extend(Ineq::eq_zero(
+            Lin::var("x'").sub(&Lin::var("x")).add_const(r(1)),
+        ));
+        p.add_transition(RecurrentTransition::new(
+            vec!["x'".into()],
+            vec![Lin::var("x").add_const(r(-1))],
+            guard,
+        ));
+        let candidates = vec![Ineq::ge_zero(Lin::var("x"))];
+        assert!(p.synthesize(&candidates, &[env(&[("x", 5)])]).is_none());
+    }
+
+    #[test]
+    fn samples_prune_non_inductive_candidates() {
+        // x <= 5 is refuted by simulating one step from x = 5 (5 → 6).
+        let p = incrementing_counter();
+        let candidates = vec![
+            Ineq::ge_zero(Lin::var("x")),
+            Ineq::ge(Lin::constant(r(5)), Lin::var("x")),
+        ];
+        let samples = vec![env(&[("x", 5)])];
+        let set = p.synthesize(&candidates, &samples).expect("x >= 0 survives");
+        assert_eq!(set.atoms, vec![Ineq::ge_zero(Lin::var("x"))]);
+    }
+
+    #[test]
+    fn entry_witness_falls_back_to_lp_when_no_sample_qualifies() {
+        let p = incrementing_counter();
+        let candidates = vec![Ineq::ge_zero(Lin::var("x"))];
+        let samples = vec![env(&[("x", -7)])];
+        let set = p.synthesize(&candidates, &samples).expect("set exists");
+        assert!(set.contains(&set.entry), "LP witness must satisfy the atoms");
+    }
+
+    #[test]
+    fn empty_candidate_pool_yields_nothing() {
+        let p = incrementing_counter();
+        assert!(p.synthesize(&[], &[env(&[("x", 1)])]).is_none());
+    }
+
+    #[test]
+    fn no_transitions_yields_nothing() {
+        let p = RecurrentProblem::new(vec!["x".to_string()]);
+        let candidates = vec![Ineq::ge_zero(Lin::var("x"))];
+        assert!(p.synthesize(&candidates, &[]).is_none());
+    }
+
+    #[test]
+    fn out_of_scope_candidates_are_ignored() {
+        let p = incrementing_counter();
+        let candidates = vec![Ineq::ge_zero(Lin::var("y"))];
+        assert!(p.synthesize(&candidates, &[env(&[("x", 1)])]).is_none());
+    }
+
+    #[test]
+    fn aperiodic_nested_loop_guard_is_recurrent() {
+        // Outer loop of nt-nimkar-fig1.4: while (k >= 0) { k = k + 1; j = k;
+        // inner loop drains j to 0 } — transition context carries an auxiliary
+        // post-state of the inner loop, but k >= 0 is closed regardless of j.
+        let mut p = RecurrentProblem::new(vec!["j".to_string(), "k".to_string()]);
+        let mut guard = vec![Ineq::ge_zero(Lin::var("k"))];
+        guard.extend(Ineq::eq_zero(
+            Lin::var("k'").sub(&Lin::var("k")).add_const(r(-1)),
+        ));
+        // j' is the inner loop's exit value: only j' <= k' is known.
+        guard.push(Ineq::ge(Lin::var("k'"), Lin::var("j'")));
+        p.add_transition(RecurrentTransition::new(
+            vec!["j'".into(), "k'".into()],
+            vec![Lin::zero(), Lin::var("k").add_const(r(1))],
+            guard,
+        ));
+        let candidates = vec![
+            Ineq::ge_zero(Lin::var("k")),
+            Ineq::ge_zero(Lin::var("j")),
+        ];
+        let samples = vec![env(&[("j", 0), ("k", 2)])];
+        let set = p.synthesize(&candidates, &samples).expect("k >= 0 recurs");
+        assert_eq!(set.atoms, vec![Ineq::ge_zero(Lin::var("k"))]);
+        assert!(p.is_inductive(&set.atoms));
+        assert!(p.closed_on_samples(&set, &samples));
+    }
+}

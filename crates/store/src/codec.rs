@@ -5,7 +5,8 @@
 //! strings and sequences, fixed-width little-endian integers, tag bytes for
 //! enums) of exactly the data an [`AnalysisResult`] carries: the case-structured
 //! method summaries (guards as [`Formula`] trees over canonical [`Constraint`]s,
-//! statuses with their synthesized [`MeasureItem`] measures), the deterministic
+//! statuses with their synthesized [`MeasureItem`] measures, the optional
+//! inferred [`Precondition`]), the deterministic
 //! [`SolveStats`], and the `validated`/`poisoned` flags. Rationals are stored as
 //! their canonical `num/den` pair, and `elapsed` as raw IEEE-754 bits, so a
 //! decoded result is *structurally identical* to the encoded one — in
@@ -18,7 +19,9 @@
 
 use std::collections::BTreeMap;
 use tnt_infer::solve::SolveStats;
-use tnt_infer::{AnalysisResult, CaseStatus, MethodSummary, SummaryCase};
+use tnt_infer::{
+    AnalysisResult, CaseStatus, MethodSummary, Precondition, PreconditionKind, SummaryCase,
+};
 use tnt_logic::{Constraint, Formula, RelOp};
 use tnt_solver::{Lin, MeasureItem, Rational};
 
@@ -165,6 +168,20 @@ fn put_summary(out: &mut Vec<u8>, summary: &MethodSummary) {
     put_u32(out, summary.cases.len() as u32);
     for c in &summary.cases {
         put_case(out, c);
+    }
+    match &summary.precondition {
+        None => put_u8(out, 0),
+        Some(pre) => {
+            put_u8(out, 1);
+            put_u8(
+                out,
+                match pre.kind {
+                    PreconditionKind::Terminating => 0,
+                    PreconditionKind::NonTerminating => 1,
+                },
+            );
+            put_formula(out, &pre.region);
+        }
     }
 }
 
@@ -373,11 +390,25 @@ impl<'a> Reader<'a> {
         for _ in 0..case_count {
             cases.push(self.case()?);
         }
+        let precondition = match self.u8()? {
+            0 => None,
+            1 => {
+                let kind = match self.u8()? {
+                    0 => PreconditionKind::Terminating,
+                    1 => PreconditionKind::NonTerminating,
+                    other => return Err(format!("invalid precondition-kind tag {other}")),
+                };
+                let region = self.formula(0)?;
+                Some(Precondition { kind, region })
+            }
+            other => return Err(format!("invalid precondition tag {other}")),
+        };
         Ok(MethodSummary {
             method,
             scenario_index,
             vars,
             cases,
+            precondition,
         })
     }
 }
@@ -473,6 +504,10 @@ mod tests {
                         status: CaseStatus::MayLoop,
                     },
                 ],
+                precondition: Some(Precondition {
+                    kind: PreconditionKind::NonTerminating,
+                    region: Formula::Atom(Constraint::ge(x(), Lin::zero())),
+                }),
             },
         );
         AnalysisResult {
@@ -510,6 +545,7 @@ mod tests {
             assert_eq!(other.vars, summary.vars);
             // Byte-identical rendering is the store's determinism contract.
             assert_eq!(other.render(), summary.render());
+            assert_eq!(other.precondition, summary.precondition);
             for (a, b) in summary.cases.iter().zip(&other.cases) {
                 assert_eq!(a.guard, b.guard);
                 assert_eq!(a.status, b.status);

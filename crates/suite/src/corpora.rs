@@ -66,7 +66,9 @@ fn take(programs: &mut Vec<BenchProgram>, target: usize) {
 }
 
 /// The `crafted` suite: 39 small programs exercising conditional termination,
-/// definite non-termination, recursion and a few deliberately hard shapes.
+/// definite non-termination, recursion and a few deliberately hard shapes —
+/// including the aperiodic nimkar pattern (closed recurrent-set synthesis) and
+/// a gcd variant with diverging trap branches (relaxed conditional prover).
 pub fn crafted() -> Suite {
     let mut rng = SmallRng::seed_from_u64(0xC0FFEE);
     let mut programs = Vec::new();
@@ -97,11 +99,12 @@ pub fn crafted() -> Suite {
             1 + (i % 2),
         ));
     }
-    for i in 0..4i128 {
+    for i in 0..3i128 {
         programs.push(templates::nondet_loop(&format!("crafted_nondet_{i}")));
     }
+    programs.push(templates::nimkar_aperiodic("crafted_nimkar"));
     programs.push(templates::infinite_loop("crafted_infinite"));
-    programs.push(templates::gcd_like("crafted_gcd"));
+    programs.push(templates::guarded_gcd_with_trap("crafted_gcd_trap"));
     programs.push(templates::assumed_terminating("crafted_assumed", 1));
     take(&mut programs, 39);
     Suite {

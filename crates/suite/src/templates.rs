@@ -165,6 +165,24 @@ void main(int x, int y)
     BenchProgram::new(name, source, Expected::Terminating, false, false)
 }
 
+/// A gcd-style recursion whose non-positive branches escape into a diverging
+/// helper. The entry `assume`s restrict `main` to positive inputs, under which
+/// the trap branches are unreachable — provable only by the conditional
+/// termination prover's relaxed external-edge rule (the region `x ≥ 1 ∧ y ≥ 1`
+/// makes the escaping edges infeasible).
+pub fn guarded_gcd_with_trap(name: &str) -> BenchProgram {
+    let source = "\
+void chaos(int a) { chaos(a + 1); }
+void gmix(int x, int y)
+{ if (x == y) { return; }
+  else { if (x <= 0) { chaos(x); }
+         else { if (y <= 0) { chaos(y); }
+                else { if (x > y) { gmix(x - y, y); } else { gmix(x, y - x); } } } }
+}
+void main(int x, int y) { assume(x >= 1); assume(y >= 1); gmix(x, y); }";
+    BenchProgram::new(name, source, Expected::Terminating, false, true)
+}
+
 /// Conditional termination resolved by an `assume`: the loop only runs on inputs for
 /// which it terminates.
 pub fn assumed_terminating(name: &str, step: i128) -> BenchProgram {
@@ -215,6 +233,23 @@ pub fn skipping_counter(name: &str, step: i128) -> BenchProgram {
         "void main(int x)\n\
          {{ assume(x >= 1);\n   while (x != 0) {{ x = x + {step}; }}\n }}"
     );
+    BenchProgram::new(name, source, Expected::NonTerminating, false, false)
+}
+
+/// The aperiodic nimkar pattern: the outer counter climbs while an inner loop
+/// drains a second variable, so no lasso-shaped (periodic) witness exists.
+/// Modular summarization of the inner loop reduces the outer loop to an
+/// inductively closed region, yielding a definite `N` with the inferred
+/// non-termination precondition `k >= 0`.
+pub fn nimkar_aperiodic(name: &str) -> BenchProgram {
+    let source = "\
+void main(int j, int k)
+{ while (k >= 0) {
+    k = k + 1;
+    j = k;
+    while (j >= 1) { j = j - 1; }
+  }
+}";
     BenchProgram::new(name, source, Expected::NonTerminating, false, false)
 }
 
@@ -321,12 +356,14 @@ mod tests {
             phase_change_hard("t10", 1),
             gcd_like("t11"),
             assumed_terminating("t12", 1),
+            guarded_gcd_with_trap("t13"),
             diverging_counter("n1", 0, 1),
             paper_foo("n2", 0),
             infinite_loop("n3"),
             diverging_recursion("n4", 0),
             skipping_counter("n5", 1),
             nondet_loop("n6"),
+            nimkar_aperiodic("n7"),
             list_traversal("h1"),
             list_append("h2"),
             circular_append("h3"),
@@ -349,5 +386,12 @@ mod tests {
         assert!(list_append("x").uses_heap);
         assert!(recursive_countdown("x", 0, 1).uses_recursion);
         assert!(!countdown("x", 1).uses_recursion);
+        assert_eq!(nimkar_aperiodic("x").expected, Expected::NonTerminating);
+        assert_eq!(
+            guarded_gcd_with_trap("x").expected,
+            Expected::Terminating,
+            "only main's entry region is restricted; the trap branches are dead"
+        );
+        assert!(guarded_gcd_with_trap("x").uses_recursion);
     }
 }

@@ -72,14 +72,17 @@ fn conforms(suite: Suite, precision_floor: f64) {
 
 // Floors are set just below the measured precision, leaving ~0.03–0.04 slack
 // for benign verdict shifts while still catching real regressions. The
-// multiphase/max ranking domain raised the measurements to crafted 0.90,
-// crafted-lit 0.86, numeric 0.88, memory-alloca 0.95, integer-loops 0.85;
-// the numeric and integer-loops floors lock in the retired gcd/phase-change
-// timeouts (those suites carry the `gcd_like`/`phase_change_hard` instances).
+// multiphase/max ranking domain raised the measurements to crafted-lit 0.86,
+// numeric 0.88, memory-alloca 0.95, integer-loops 0.85; the numeric and
+// integer-loops floors lock in the retired gcd/phase-change timeouts (those
+// suites carry the `gcd_like`/`phase_change_hard` instances). Recurrent-set
+// synthesis raised crafted to 0.92 (the aperiodic `nimkar_aperiodic` instance
+// now answers a definite `N` with a `k >= 0` precondition), so its floor locks
+// that conversion in.
 
 #[test]
 fn crafted_suite_conforms() {
-    conforms(crafted(), 0.80);
+    conforms(crafted(), 0.88);
 }
 
 #[test]

@@ -1,0 +1,160 @@
+//! End-to-end gates for closed recurrent-set synthesis and the backwards
+//! precondition mode.
+//!
+//! Two invariants are pinned:
+//!
+//! * **The aperiodic flagship** — the `nimkar_aperiodic` crafted instance (an
+//!   outer counter that climbs while an inner loop drains a second variable)
+//!   has no lasso-shaped divergence witness, so it is exactly the program the
+//!   periodic `prove_NonTerm` machinery cannot classify. The recurrent-set
+//!   fall-back must answer a definite `N` with the inferred non-termination
+//!   precondition `k >= 0`, and the rendered summary is pinned byte for byte.
+//! * **Closure self-check (property)** — every recurrent set the synthesizer
+//!   certifies over a seeded family of transition systems must be closed under
+//!   one-step concrete simulation from every sampled valuation inside it.
+//!   `synthesize` already re-validates this internally; the property test
+//!   re-runs the check from the outside so a regression in either the Farkas
+//!   closure certificates or the sampler trips a test, not just a debug path.
+
+use hiptnt::infer::{analyze_source, InferOptions, PreconditionKind, Verdict};
+use hiptnt::logic::testgen;
+use hiptnt::solver::recurrent::{RecurrentProblem, RecurrentTransition};
+use hiptnt::solver::{Ineq, Lin, Rational};
+use hiptnt::suite::templates::nimkar_aperiodic;
+use std::collections::BTreeMap;
+
+/// The fixed sample seed shared with `prove_nonterm_recurrent` — the gate must
+/// exercise the same valuations the production path filters candidates with.
+const SAMPLE_SEED: u64 = 0x5EED_2EC5;
+
+#[test]
+fn nimkar_analogue_answers_nonterm_with_a_k_ge_zero_precondition() {
+    let program = nimkar_aperiodic("nimkar");
+    let result = analyze_source(&program.source, &InferOptions::default()).expect("analysis");
+    assert_eq!(result.program_verdict(), Verdict::NonTerminating);
+    assert!(result.validated, "the recurrent-set verdict must re-validate");
+
+    let main = &result.summaries["main"];
+    assert_eq!(
+        main.render(),
+        "case {\n\
+         \x20 k >= 0 -> requires Loop ensures false;\n\
+         \x20 -k - 1 >= 0 -> requires Term[0] ensures true;\n\
+         }\n\
+         precondition non-terminating: k >= 0",
+        "pinned rendering of the recurrent-set summary drifted"
+    );
+
+    let pre = result.program_precondition().expect("a program precondition");
+    assert_eq!(pre.kind, PreconditionKind::NonTerminating);
+    assert_eq!(pre.region.to_string(), "k >= 0");
+}
+
+fn rational_samples(vars: &[&str]) -> Vec<BTreeMap<String, Rational>> {
+    testgen::seeded_int_envs(SAMPLE_SEED, vars, -16..17, 24)
+        .into_iter()
+        .map(|env| {
+            env.into_iter()
+                .map(|(name, value)| (name, Rational::from(value)))
+                .collect()
+        })
+        .collect()
+}
+
+fn x() -> Lin {
+    Lin::var("x")
+}
+
+fn y() -> Lin {
+    Lin::var("y")
+}
+
+fn constant(value: i128) -> Lin {
+    Lin::constant(Rational::from(value))
+}
+
+/// Checks one problem: whenever synthesis certifies a set, the set must be
+/// inductive under the external Farkas re-check, closed on every sampled
+/// valuation it contains, and must actually contain its own entry witness.
+fn assert_closed_if_synthesized(
+    problem: &RecurrentProblem,
+    candidates: &[Ineq],
+    samples: &[BTreeMap<String, Rational>],
+) -> bool {
+    let Some(set) = problem.synthesize(candidates, samples) else {
+        return false;
+    };
+    assert!(
+        problem.is_inductive(&set.atoms),
+        "synthesized set is not Farkas-inductive: {:?}",
+        set.atoms
+    );
+    assert!(
+        problem.closed_on_samples(&set, samples),
+        "synthesized set escapes under concrete simulation: {:?}",
+        set.atoms
+    );
+    assert!(
+        set.contains(&set.entry),
+        "entry witness lies outside the set: {:?}",
+        set.entry
+    );
+    true
+}
+
+#[test]
+fn synthesized_recurrent_sets_are_closed_on_sampled_valuations() {
+    let mut synthesized = 0usize;
+
+    // One-variable counters: x' = x + step, guarded by x >= low. For every
+    // step >= 0 some suffix `x >= c` of the candidate grid is recurrent.
+    let samples = rational_samples(&["x"]);
+    let candidates: Vec<Ineq> = (-3..4)
+        .map(|c| Ineq::ge_zero(x().sub(&constant(c))))
+        .collect();
+    for step in 0..4 {
+        for low in -3..4 {
+            let mut problem = RecurrentProblem::new(vec!["x".to_string()]);
+            let update = x().add(&constant(step));
+            let mut guard = vec![Ineq::ge_zero(x().sub(&constant(low)))];
+            guard.extend(Ineq::eq_zero(Lin::var("x@dst").sub(&update)));
+            problem.add_transition(RecurrentTransition::new(
+                vec!["x@dst".to_string()],
+                vec![update],
+                guard,
+            ));
+            if assert_closed_if_synthesized(&problem, &candidates, &samples) {
+                synthesized += 1;
+            }
+        }
+    }
+
+    // The paper's `foo` shape: (x, y) -> (x + y, y) guarded by x >= 0; the
+    // recurrent set needs the conjunction x >= 0 & y >= 0 — neither atom is
+    // inductive alone, so this exercises the Houdini interaction.
+    let samples = rational_samples(&["x", "y"]);
+    let candidates = vec![
+        Ineq::ge_zero(x()),
+        Ineq::ge_zero(y()),
+        Ineq::ge_zero(constant(0).sub(&y())),
+    ];
+    let mut problem = RecurrentProblem::new(vec!["x".to_string(), "y".to_string()]);
+    let mut guard = vec![Ineq::ge_zero(x())];
+    guard.extend(Ineq::eq_zero(Lin::var("x@dst").sub(&x().add(&y()))));
+    guard.extend(Ineq::eq_zero(Lin::var("y@dst").sub(&y())));
+    problem.add_transition(RecurrentTransition::new(
+        vec!["x@dst".to_string(), "y@dst".to_string()],
+        vec![x().add(&y()), y()],
+        guard,
+    ));
+    assert!(
+        assert_closed_if_synthesized(&problem, &candidates, &samples),
+        "the foo-shaped problem must synthesize a recurrent set"
+    );
+    synthesized += 1;
+
+    assert!(
+        synthesized >= 20,
+        "the family must synthesize sets on most instances, got {synthesized}"
+    );
+}

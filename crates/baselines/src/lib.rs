@@ -27,7 +27,9 @@
 use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
-use tnt_infer::{analyze_program, AnalysisResult, AnalysisSession, InferError, InferOptions, Verdict};
+use tnt_infer::{
+    analyze_program, AnalysisResult, AnalysisSession, InferError, InferOptions, Verdict,
+};
 use tnt_lang::ast::Program;
 
 /// The answer of a tool on one benchmark program (the columns of Fig. 10/11).

@@ -64,5 +64,10 @@ fn fingerprint_cache(c: &mut Criterion) {
     });
 }
 
-criterion_group!(micro, ranking_countdown, entailment_query, fingerprint_cache);
+criterion_group!(
+    micro,
+    ranking_countdown,
+    entailment_query,
+    fingerprint_cache
+);
 criterion_main!(micro);

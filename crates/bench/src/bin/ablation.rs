@@ -76,7 +76,9 @@ fn main() {
         let stats = session.stats();
         println!(
             "(session: {} programs, {} analysed, {} served from cache)",
-            stats.programs, stats.cache_misses, stats.cache_hits()
+            stats.programs,
+            stats.cache_misses,
+            stats.cache_hits()
         );
     }
 }

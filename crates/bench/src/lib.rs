@@ -192,7 +192,10 @@ mod tests {
     #[test]
     fn hostile_names_still_emit_valid_json() {
         let table = Table {
-            suites: vec!["crafted \"v2\"".to_string(), "back\\slash\nline".to_string()],
+            suites: vec![
+                "crafted \"v2\"".to_string(),
+                "back\\slash\nline".to_string(),
+            ],
             rows: vec![(
                 "tool \"quoted\"\ttabbed".to_string(),
                 vec![Row::default(), Row::default()],
@@ -208,7 +211,10 @@ mod tests {
             assert_eq!(suites[0].as_str(), Some("crafted \"v2\""));
             assert_eq!(suites[1].as_str(), Some("back\\slash\nline"));
             let rows = parsed.get("rows").unwrap().as_array().unwrap();
-            let (name, cells) = (&rows[0].as_array().unwrap()[0], &rows[0].as_array().unwrap()[1]);
+            let (name, cells) = (
+                &rows[0].as_array().unwrap()[0],
+                &rows[0].as_array().unwrap()[1],
+            );
             assert_eq!(name.as_str(), Some("tool \"quoted\"\ttabbed"));
             assert_eq!(cells.as_array().unwrap().len(), 2);
         }

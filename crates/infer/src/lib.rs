@@ -70,5 +70,7 @@ pub use analyzer::{analyze_program, analyze_source, AnalysisResult, InferError, 
 pub use session::{
     AnalysisSession, BatchEntry, CacheTier, ProgramKey, SessionStats, SummaryBackend,
 };
-pub use summary::{CaseStatus, MethodSummary, Precondition, PreconditionKind, SummaryCase, Verdict};
+pub use summary::{
+    CaseStatus, MethodSummary, Precondition, PreconditionKind, SummaryCase, Verdict,
+};
 pub use theta::Theta;

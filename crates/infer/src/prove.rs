@@ -669,7 +669,11 @@ pub fn prove_nonterm_recurrent(
     let samples: Vec<BTreeMap<String, Rational>> =
         tnt_logic::testgen::seeded_int_envs(0x5EED_2EC5, &var_refs, -16..17, 24)
             .into_iter()
-            .map(|env| env.into_iter().map(|(v, n)| (v, Rational::from(n))).collect())
+            .map(|env| {
+                env.into_iter()
+                    .map(|(v, n)| (v, Rational::from(n)))
+                    .collect()
+            })
             .collect();
     let set = problem.synthesize(&candidates, &samples)?;
     if !problem.closed_on_samples(&set, &samples) {

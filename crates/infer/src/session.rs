@@ -934,7 +934,10 @@ mod tests {
         assert!(!batch[0].cache_hit && !batch[1].cache_hit && batch[2].cache_hit);
         assert_eq!(batch[0].work, batch[2].work);
         let stats = session.stats();
-        assert_eq!((stats.programs, stats.cache_misses, stats.cache_hits()), (3, 2, 1));
+        assert_eq!(
+            (stats.programs, stats.cache_misses, stats.cache_hits()),
+            (3, 2, 1)
+        );
         assert_eq!(
             (stats.dedup_hits, stats.memory_hits, stats.store_hits),
             (1, 0, 0),

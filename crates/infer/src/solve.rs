@@ -422,9 +422,10 @@ fn validate_within_budget(analysis: &ProgramAnalysis, theta: &Theta, budget: u64
             })
             .collect();
         if states.iter().any(|s| matches!(s, CaseState::Term(_)))
-            && prove_term(scc, &graph, &resolved_theta, &options).is_none() {
-                return false;
-            }
+            && prove_term(scc, &graph, &resolved_theta, &options).is_none()
+        {
+            return false;
+        }
         if states.iter().any(|s| matches!(s, CaseState::Loop)) {
             let outcome =
                 prove_nonterm_assuming(scc, &obligations, &resolved_theta, &options, &loop_posts);

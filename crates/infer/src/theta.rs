@@ -316,7 +316,10 @@ mod tests {
         theta.register("Upr_f#0", "Upo_f#0", vec!["x".to_string()]);
         assert!(!theta.all_resolved());
         assert_eq!(theta.unresolved_pres(), vec!["Upr_f#0".to_string()]);
-        theta.resolve("Upr_f#0", CaseState::Term(vec![MeasureItem::Affine(var("x"))]));
+        theta.resolve(
+            "Upr_f#0",
+            CaseState::Term(vec![MeasureItem::Affine(var("x"))]),
+        );
         assert!(theta.all_resolved());
     }
 

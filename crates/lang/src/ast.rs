@@ -163,14 +163,12 @@ impl Expr {
     /// Collects the variables read by the expression into `out`.
     pub fn collect_vars(&self, out: &mut Vec<Symbol>) {
         match self {
-            Expr::Var(v)
-                if !out.contains(v) => {
-                    out.push(*v);
-                }
-            Expr::Field(v, _)
-                if !out.contains(v) => {
-                    out.push(*v);
-                }
+            Expr::Var(v) if !out.contains(v) => {
+                out.push(*v);
+            }
+            Expr::Field(v, _) if !out.contains(v) => {
+                out.push(*v);
+            }
             Expr::Unary(_, e) => e.collect_vars(out),
             Expr::Binary(_, a, b) => {
                 a.collect_vars(out);

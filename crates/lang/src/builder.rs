@@ -12,10 +12,7 @@ pub fn int_method(name: &str, params: &[&str], ret: Type, body: Vec<Stmt>) -> Me
     MethodDecl {
         ret,
         name: name.into(),
-        params: params
-            .iter()
-            .map(|p| Param::new(Type::Int, *p))
-            .collect(),
+        params: params.iter().map(|p| Param::new(Type::Int, *p)).collect(),
         spec: None,
         body: Some(Block::new(body)),
     }

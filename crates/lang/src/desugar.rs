@@ -77,8 +77,7 @@ impl DesugarCtx<'_> {
             }
             Stmt::While(cond, body) => {
                 self.counter += 1;
-                let loop_name =
-                    Symbol::from(format!("{}_loop{}", self.method_name, self.counter));
+                let loop_name = Symbol::from(format!("{}_loop{}", self.method_name, self.counter));
 
                 // The loop method parameters: every in-scope variable mentioned by the
                 // condition or the body, in deterministic order.

@@ -49,9 +49,9 @@ pub mod symbol;
 pub mod typecheck;
 
 pub use ast::{BinOp, Block, DataDecl, Expr, MethodDecl, Param, Program, Stmt, Type, UnOp};
-pub use symbol::Symbol;
 pub use parser::{parse_program, ParseError};
 pub use spec::{Ensures, HeapFormula, Requires, Spec, SpecPair, TemporalSpec};
+pub use symbol::Symbol;
 
 /// Parses, type-checks, normalises and desugars a program in one call: the form the
 /// verification and inference layers consume.

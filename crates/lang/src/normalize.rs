@@ -181,11 +181,7 @@ impl NormCtx<'_> {
                     .unwrap_or(Type::Int);
                 let temp = self.fresh();
                 self.vars.insert(temp, ret.clone());
-                out.push(Stmt::VarDecl(
-                    ret,
-                    temp,
-                    Some(Expr::Call(*name, args)),
-                ));
+                out.push(Stmt::VarDecl(ret, temp, Some(Expr::Call(*name, args))));
                 Expr::Var(temp)
             }
             Expr::New(data, args) => {

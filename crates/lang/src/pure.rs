@@ -135,14 +135,12 @@ pub fn replace_nondet(expr: &Expr, fresh: &mut impl FnMut() -> String) -> (Expr,
                 Box::new(go(lhs, fresh, out)),
                 Box::new(go(rhs, fresh, out)),
             ),
-            Expr::Call(name, args) => Expr::Call(
-                *name,
-                args.iter().map(|a| go(a, fresh, out)).collect(),
-            ),
-            Expr::New(name, args) => Expr::New(
-                *name,
-                args.iter().map(|a| go(a, fresh, out)).collect(),
-            ),
+            Expr::Call(name, args) => {
+                Expr::Call(*name, args.iter().map(|a| go(a, fresh, out)).collect())
+            }
+            Expr::New(name, args) => {
+                Expr::New(*name, args.iter().map(|a| go(a, fresh, out)).collect())
+            }
             other => other.clone(),
         }
     }

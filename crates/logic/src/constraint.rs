@@ -409,7 +409,10 @@ mod tests {
             let negated = c.negate();
             let holds = c.holds(&env);
             let neg_holds = negated.iter().any(|d| d.holds(&env));
-            assert_eq!(holds, !neg_holds, "negation did not flip {c:?} under {env:?}");
+            assert_eq!(
+                holds, !neg_holds,
+                "negation did not flip {c:?} under {env:?}"
+            );
         }
     }
 

@@ -122,7 +122,8 @@ pub fn prune(formula: &Formula) -> Formula {
             j != index
                 && (j < index || live[j].len() <= live[index].len())
                 && entail::entails(&this, &dnf::from_dnf(std::slice::from_ref(other)))
-                && !(j > index && entail::entails(&dnf::from_dnf(std::slice::from_ref(other)), &this))
+                && !(j > index
+                    && entail::entails(&dnf::from_dnf(std::slice::from_ref(other)), &this))
         });
         if subsumed {
             live.remove(index);

@@ -51,7 +51,9 @@ pub fn seeded_int_envs(
 ) -> Vec<BTreeMap<String, i128>> {
     use rand::SeedableRng;
     let mut rng = SmallRng::seed_from_u64(seed);
-    (0..count).map(|_| int_env(&mut rng, vars, range.clone())).collect()
+    (0..count)
+        .map(|_| int_env(&mut rng, vars, range.clone()))
+        .collect()
 }
 
 /// A random atomic constraint `lhs op 0` with `op` drawn from `ops` operator

@@ -41,7 +41,9 @@ use std::io::{self, BufRead, Write};
 use std::sync::Arc;
 
 use serde_json::{json_escape_into, Value};
-use tnt_infer::{AnalysisSession, BatchEntry, CacheTier, InferOptions, SessionStats, SummaryBackend};
+use tnt_infer::{
+    AnalysisSession, BatchEntry, CacheTier, InferOptions, SessionStats, SummaryBackend,
+};
 
 /// A shared analysis server: one session (with its in-memory cache and
 /// optional persistent store tier) serving any number of sequential requests.
@@ -141,7 +143,11 @@ fn render_response(id: &Value, entry: &BatchEntry) -> String {
         None => out.push_str("null"),
     }
     out.push_str(",\"cached\":");
-    out.push_str(if entry.tier.is_some() { "true" } else { "false" });
+    out.push_str(if entry.tier.is_some() {
+        "true"
+    } else {
+        "false"
+    });
     out.push_str(",\"tier\":");
     match entry.tier {
         Some(CacheTier::Dedup) => out.push_str("\"dedup\""),
@@ -233,8 +239,7 @@ fn emit_f64(n: f64, out: &mut String) {
 mod tests {
     use super::*;
 
-    const TERMINATING: &str =
-        "void f(int x) { if (x <= 0) { return; } else { f(x - 1); } }";
+    const TERMINATING: &str = "void f(int x) { if (x <= 0) { return; } else { f(x - 1); } }";
     const LOOPING: &str = "void g(int x) { g(x + 1); }";
 
     fn parse(line: &str) -> Value {
@@ -319,8 +324,15 @@ mod tests {
             ("{\"id\": 9, \"source\": 42}", Value::Number(9.0)),
         ] {
             let resp = parse(&server.handle_line(line));
-            assert_eq!(resp.get("status").and_then(Value::as_str), Some("error"), "{line}");
-            assert!(resp.get("error").and_then(Value::as_str).is_some(), "{line}");
+            assert_eq!(
+                resp.get("status").and_then(Value::as_str),
+                Some("error"),
+                "{line}"
+            );
+            assert!(
+                resp.get("error").and_then(Value::as_str).is_some(),
+                "{line}"
+            );
             assert_eq!(resp.get("id"), Some(&expect_id), "{line}");
         }
     }
@@ -328,9 +340,7 @@ mod tests {
     #[test]
     fn unparseable_source_is_an_error_response() {
         let server = Server::new(InferOptions::default());
-        let resp = parse(&server.handle_line(
-            "{\"id\": 2, \"source\": \"void f( { } garbage\"}",
-        ));
+        let resp = parse(&server.handle_line("{\"id\": 2, \"source\": \"void f( { } garbage\"}"));
         assert_eq!(resp.get("status").and_then(Value::as_str), Some("error"));
     }
 

@@ -59,8 +59,6 @@
 
 pub mod farkas;
 pub mod lexicographic;
-#[cfg(test)]
-mod testgen;
 pub mod linear;
 pub mod lp;
 pub mod multiphase;
@@ -68,6 +66,8 @@ pub mod ranking;
 pub mod rational;
 pub mod recurrent;
 pub mod simplex;
+#[cfg(test)]
+mod testgen;
 
 pub use linear::{Ineq, Lin};
 pub use lp::{LpProblem, LpSolution, LpStatus};

@@ -177,7 +177,10 @@ fn synthesize_depth(problem: &RankingProblem, depth: usize) -> Option<Multiphase
             let node = NodeId(i);
             (
                 node,
-                phases.iter().map(|row| row[i].instantiate(&params)).collect(),
+                phases
+                    .iter()
+                    .map(|row| row[i].instantiate(&params))
+                    .collect(),
             )
         })
         .collect();
@@ -359,7 +362,10 @@ mod tests {
     fn phase_change_needs_and_gets_multiphase() {
         let (p, n) = phase_change_problem();
         assert!(p.synthesize().is_none(), "no single affine measure");
-        assert!(synthesize_lexicographic(&p, 4).is_none(), "no plain lex measure");
+        assert!(
+            synthesize_lexicographic(&p, 4).is_none(),
+            "no plain lex measure"
+        );
         let measure = synthesize_multiphase(&p, 3).expect("nested multiphase exists");
         let phases = &measure[&n];
         assert!(phases.len() >= 2);
@@ -402,7 +408,12 @@ mod tests {
         guard.extend(eq(Lin::var("y'"), Lin::var("y").add_const(r(-1))));
         p.add_transition(Transition::new(n, n, vec!["x'".into(), "y'".into()], guard));
         let candidates = max_component_candidates(&p);
-        assert!(!max_decreasing_on(&p, &candidates[0], &p.transitions()[0], false));
+        assert!(!max_decreasing_on(
+            &p,
+            &candidates[0],
+            &p.transitions()[0],
+            false
+        ));
     }
 
     mod properties {
@@ -634,8 +645,7 @@ mod tests {
     fn measure_items_render_readably() {
         let affine = MeasureItem::Affine(Lin::var("x"));
         let max = MeasureItem::Max(Lin::var("x"), Lin::var("y"));
-        let phases =
-            MeasureItem::Phases(vec![Lin::var("y").add_const(r(1)), Lin::var("x")]);
+        let phases = MeasureItem::Phases(vec![Lin::var("y").add_const(r(1)), Lin::var("x")]);
         assert_eq!(affine.to_string(), "x");
         assert_eq!(max.to_string(), "max(x, y)");
         assert_eq!(phases.to_string(), "phases(y + 1, x)");

@@ -220,7 +220,11 @@ impl RankingProblem {
             // encode_implication declares conclusion parameters free, so the sign
             // restriction must be stated as explicit constraints.
             lp.constrain(Lin::var(eps.clone()), Cmp::Ge, Lin::zero());
-            lp.constrain(Lin::var(eps.clone()), Cmp::Le, Lin::constant(Rational::one()));
+            lp.constrain(
+                Lin::var(eps.clone()),
+                Cmp::Le,
+                Lin::constant(Rational::one()),
+            );
             eps_names.push(eps);
         }
         let mut objective = Lin::zero();

@@ -570,7 +570,10 @@ mod tests {
         // Huge integers still match the (single-rounded, hence correct)
         // direct conversion.
         assert_eq!(Rational::from(i128::MAX).to_f64(), i128::MAX as f64);
-        assert_eq!(Rational::from(i128::MIN + 1).to_f64(), (i128::MIN + 1) as f64);
+        assert_eq!(
+            Rational::from(i128::MIN + 1).to_f64(),
+            (i128::MIN + 1) as f64
+        );
         // Reciprocal of a huge denominator: quotient far below 1.
         let tiny = Rational::new(1, i128::MAX);
         assert_eq!(tiny.to_f64(), 1.0 / (i128::MAX as f64));

@@ -239,12 +239,12 @@ impl RecurrentProblem {
             if !set.contains(sample) {
                 return true;
             }
-            self.transitions.iter().all(|transition| {
-                match self.concrete_step(transition, sample) {
+            self.transitions
+                .iter()
+                .all(|transition| match self.concrete_step(transition, sample) {
                     Some(dst) => set.contains(&dst),
                     None => true,
-                }
-            })
+                })
         })
     }
 
@@ -315,7 +315,10 @@ impl RecurrentProblem {
                 .map(|(formal, dst_var)| {
                     (
                         formal.clone(),
-                        extended.get(dst_var).copied().unwrap_or_else(Rational::zero),
+                        extended
+                            .get(dst_var)
+                            .copied()
+                            .unwrap_or_else(Rational::zero),
                     )
                 })
                 .collect(),
@@ -439,7 +442,9 @@ mod tests {
             Ineq::ge(Lin::constant(r(5)), Lin::var("x")),
         ];
         let samples = vec![env(&[("x", 5)])];
-        let set = p.synthesize(&candidates, &samples).expect("x >= 0 survives");
+        let set = p
+            .synthesize(&candidates, &samples)
+            .expect("x >= 0 survives");
         assert_eq!(set.atoms, vec![Ineq::ge_zero(Lin::var("x"))]);
     }
 
@@ -449,7 +454,10 @@ mod tests {
         let candidates = vec![Ineq::ge_zero(Lin::var("x"))];
         let samples = vec![env(&[("x", -7)])];
         let set = p.synthesize(&candidates, &samples).expect("set exists");
-        assert!(set.contains(&set.entry), "LP witness must satisfy the atoms");
+        assert!(
+            set.contains(&set.entry),
+            "LP witness must satisfy the atoms"
+        );
     }
 
     #[test]
@@ -489,10 +497,7 @@ mod tests {
             vec![Lin::zero(), Lin::var("k").add_const(r(1))],
             guard,
         ));
-        let candidates = vec![
-            Ineq::ge_zero(Lin::var("k")),
-            Ineq::ge_zero(Lin::var("j")),
-        ];
+        let candidates = vec![Ineq::ge_zero(Lin::var("k")), Ineq::ge_zero(Lin::var("j"))];
         let samples = vec![env(&[("j", 0), ("k", 2)])];
         let set = p.synthesize(&candidates, &samples).expect("k >= 0 recurs");
         assert_eq!(set.atoms, vec![Ineq::ge_zero(Lin::var("k"))]);

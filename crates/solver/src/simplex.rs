@@ -633,7 +633,10 @@ mod tests {
                     }
                 }
             }
-            assert!(feasible > 100, "generator produced too few feasible programs");
+            assert!(
+                feasible > 100,
+                "generator produced too few feasible programs"
+            );
         }
 
         /// The all-zero point satisfying the constraints implies the program is

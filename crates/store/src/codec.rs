@@ -536,7 +536,10 @@ mod tests {
         assert_eq!(decoded.elapsed.to_bits(), original.elapsed.to_bits());
         assert_eq!(decoded.stats.work, original.stats.work);
         assert_eq!(decoded.stats.iterations, original.stats.iterations);
-        assert_eq!(decoded.stats.budget_exhausted, original.stats.budget_exhausted);
+        assert_eq!(
+            decoded.stats.budget_exhausted,
+            original.stats.budget_exhausted
+        );
         assert_eq!(decoded.summaries.len(), original.summaries.len());
         for (label, summary) in &original.summaries {
             let other = &decoded.summaries[label];

@@ -203,7 +203,8 @@ impl Inner {
             return None;
         }
         let payload = &frame[..entry.payload_len as usize];
-        let stored_sum = u64::from_le_bytes(frame[entry.payload_len as usize..].try_into().expect("8"));
+        let stored_sum =
+            u64::from_le_bytes(frame[entry.payload_len as usize..].try_into().expect("8"));
         if fnv1a(payload) != stored_sum {
             self.diagnostics.push(format!(
                 "store: record at offset {} failed its checksum on re-read; the summary will be recomputed",
@@ -606,8 +607,14 @@ mod tests {
         let reread = SummaryStore::open(dir.path()).expect("reopen");
         assert_eq!(reread.entries(), 2);
         assert!(reread.load(&key(1), 7).is_some());
-        assert!(reread.load(&key(2), 7).is_none(), "corrupt record must miss");
-        assert!(reread.load(&key(3), 7).is_some(), "record after the corrupt one survives");
+        assert!(
+            reread.load(&key(2), 7).is_none(),
+            "corrupt record must miss"
+        );
+        assert!(
+            reread.load(&key(3), 7).is_some(),
+            "record after the corrupt one survives"
+        );
         let diags = reread.diagnostics();
         assert!(
             diags.iter().any(|d| d.contains("corrupt record")),

@@ -308,20 +308,19 @@ where
                 // instead of being silently dropped from the suite totals.
                 let start = std::time::Instant::now();
                 let work_before = tnt_infer::solve::work_units();
-                let report =
-                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        analysis(program)
-                    })) {
-                        Ok(report) => report,
-                        Err(payload) => ProgramReport {
-                            name: program.name.clone(),
-                            expected: program.expected,
-                            outcome: Outcome::Unknown,
-                            elapsed: start.elapsed().as_secs_f64(),
-                            work: tnt_infer::solve::work_units().wrapping_sub(work_before),
-                            note: Some(panic_note(payload.as_ref())),
-                        },
-                    };
+                let report = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    analysis(program)
+                })) {
+                    Ok(report) => report,
+                    Err(payload) => ProgramReport {
+                        name: program.name.clone(),
+                        expected: program.expected,
+                        outcome: Outcome::Unknown,
+                        elapsed: start.elapsed().as_secs_f64(),
+                        work: tnt_infer::solve::work_units().wrapping_sub(work_before),
+                        note: Some(panic_note(payload.as_ref())),
+                    },
+                };
                 // A worker that panicked between lock() and the slot write would
                 // poison the mutex; recover the inner data instead of aborting
                 // the whole suite on a single program's crash.

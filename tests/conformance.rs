@@ -17,9 +17,7 @@
 //! byte — the regression tripwire for future parallelism/caching work.
 
 use hiptnt::infer::AnalysisSession;
-use hiptnt::suite::{
-    crafted, crafted_lit, integer_loops, memory_alloca, numeric, runner, Suite,
-};
+use hiptnt::suite::{crafted, crafted_lit, integer_loops, memory_alloca, numeric, runner, Suite};
 use hiptnt::InferOptions;
 use std::sync::OnceLock;
 
@@ -117,12 +115,8 @@ fn gcd_and_phase_change_templates_answer_term() {
         phase_change_hard("phase1", 1),
         phase_change_hard("phase3", 3),
     ] {
-        let report = runner::run_program(
-            &program.name,
-            &program.source,
-            program.expected,
-            &options,
-        );
+        let report =
+            runner::run_program(&program.name, &program.source, program.expected, &options);
         assert_eq!(
             report.outcome,
             hiptnt::suite::Outcome::Yes,

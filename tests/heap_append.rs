@@ -20,9 +20,10 @@ fn list_segment_scenario_terminates_with_measure_n() {
     let segment = &result.summaries["append#0"];
     assert_eq!(segment.verdict(), Verdict::Terminating);
     // Some case carries a non-trivial measure mentioning the segment length n.
-    assert!(segment.cases.iter().any(
-        |c| matches!(&c.status, CaseStatus::Term(m) if m.iter().any(|l| l.depends_on("n")))
-    ));
+    assert!(segment
+        .cases
+        .iter()
+        .any(|c| matches!(&c.status, CaseStatus::Term(m) if m.iter().any(|l| l.depends_on("n")))));
 }
 
 #[test]

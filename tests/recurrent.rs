@@ -32,7 +32,10 @@ fn nimkar_analogue_answers_nonterm_with_a_k_ge_zero_precondition() {
     let program = nimkar_aperiodic("nimkar");
     let result = analyze_source(&program.source, &InferOptions::default()).expect("analysis");
     assert_eq!(result.program_verdict(), Verdict::NonTerminating);
-    assert!(result.validated, "the recurrent-set verdict must re-validate");
+    assert!(
+        result.validated,
+        "the recurrent-set verdict must re-validate"
+    );
 
     let main = &result.summaries["main"];
     assert_eq!(
@@ -45,7 +48,9 @@ fn nimkar_analogue_answers_nonterm_with_a_k_ge_zero_precondition() {
         "pinned rendering of the recurrent-set summary drifted"
     );
 
-    let pre = result.program_precondition().expect("a program precondition");
+    let pre = result
+        .program_precondition()
+        .expect("a program precondition");
     assert_eq!(pre.kind, PreconditionKind::NonTerminating);
     assert_eq!(pre.region.to_string(), "k >= 0");
 }

@@ -96,10 +96,7 @@ fn poison_does_not_leak_into_neighbouring_cache_entries() {
 #[test]
 fn cross_suite_cache_reuse_changes_no_report_field() {
     let options = InferOptions::default();
-    let reference = runner::run_suite_session(
-        &AnalysisSession::without_cache(options),
-        &crafted(),
-    );
+    let reference = runner::run_suite_session(&AnalysisSession::without_cache(options), &crafted());
     let warmed = AnalysisSession::new(options);
     let _ = runner::run_suite_session(&warmed, &numeric());
     let misses_before = warmed.stats().cache_misses;
@@ -152,8 +149,14 @@ fn warm_pass_reports_cold_work_with_lookup_priced_timing() {
     assert_eq!(stats.store_writes, 0);
 
     for (i, (a, b)) in cold.iter().zip(&warm).enumerate() {
-        assert_eq!(a.work, b.work, "program {i}: warm work must equal cold work");
-        assert!(b.tier.is_some(), "program {i}: warm entries come from a tier");
+        assert_eq!(
+            a.work, b.work,
+            "program {i}: warm work must equal cold work"
+        );
+        assert!(
+            b.tier.is_some(),
+            "program {i}: warm entries come from a tier"
+        );
         // The warm entry prices the lookup, not the original analysis. The
         // bound is deliberately generous (wall clock under CI load) — a
         // re-billed analysis of the heavy crafted programs would exceed it,
@@ -172,11 +175,12 @@ fn warm_pass_reports_cold_work_with_lookup_priced_timing() {
 fn cache_keys_follow_canonical_forms() {
     let options = InferOptions::default();
     let base = hiptnt::frontend("void main(int x) { while (x > 0) { x = x - 1; } }").unwrap();
-    let spaced =
-        hiptnt::frontend("void  main( int x )\n{ while (x > 0) { x = x - 1; } }").unwrap();
-    let different =
-        hiptnt::frontend("void main(int x) { while (x > 1) { x = x - 1; } }").unwrap();
-    assert_eq!(ProgramKey::of(&base, &options), ProgramKey::of(&spaced, &options));
+    let spaced = hiptnt::frontend("void  main( int x )\n{ while (x > 0) { x = x - 1; } }").unwrap();
+    let different = hiptnt::frontend("void main(int x) { while (x > 1) { x = x - 1; } }").unwrap();
+    assert_eq!(
+        ProgramKey::of(&base, &options),
+        ProgramKey::of(&spaced, &options)
+    );
     assert_ne!(
         ProgramKey::of(&base, &options),
         ProgramKey::of(&different, &options)

@@ -65,7 +65,11 @@ fn fingerprint(entry: &BatchEntry) -> String {
 }
 
 fn crafted_sources() -> Vec<String> {
-    crafted().programs.iter().map(|p| p.source.clone()).collect()
+    crafted()
+        .programs
+        .iter()
+        .map(|p| p.source.clone())
+        .collect()
 }
 
 #[test]
@@ -76,19 +80,22 @@ fn summaries_are_byte_identical_across_cold_warm_and_store_restart() {
     let dir = TempDir::new();
 
     // (1) Cold: no cache of any kind.
-    let cold_entries =
-        AnalysisSession::without_cache(options).analyze_batch_with(&sources, 2);
+    let cold_entries = AnalysisSession::without_cache(options).analyze_batch_with(&sources, 2);
     let cold: Vec<String> = cold_entries.iter().map(fingerprint).collect();
 
     // (2) Populate the store, then a warm in-memory pass in the same session.
-    let writer = AnalysisSession::new(options)
-        .with_store(Arc::new(SummaryStore::open(dir.path()).expect("open store")));
+    let writer = AnalysisSession::new(options).with_store(Arc::new(
+        SummaryStore::open(dir.path()).expect("open store"),
+    ));
     let populate = writer.analyze_batch_with(&sources, 2);
     let warm_entries = writer.analyze_batch_with(&sources, 2);
     let populate_fp: Vec<String> = populate.iter().map(fingerprint).collect();
     let warm: Vec<String> = warm_entries.iter().map(fingerprint).collect();
     let stats = writer.stats();
-    assert!(stats.store_writes > 0, "fresh analyses must be written behind");
+    assert!(
+        stats.store_writes > 0,
+        "fresh analyses must be written behind"
+    );
     assert_eq!(
         stats.store_writes, stats.cache_misses,
         "every computed program is persisted exactly once"
@@ -96,8 +103,9 @@ fn summaries_are_byte_identical_across_cold_warm_and_store_restart() {
 
     // (3) "Fresh process": a brand-new session with empty in-memory state,
     // reading the store a previous process wrote.
-    let restarted = AnalysisSession::new(options)
-        .with_store(Arc::new(SummaryStore::open(dir.path()).expect("reopen store")));
+    let restarted = AnalysisSession::new(options).with_store(Arc::new(
+        SummaryStore::open(dir.path()).expect("reopen store"),
+    ));
     let restored_entries = restarted.analyze_batch_with(&sources, 2);
     let restored: Vec<String> = restored_entries.iter().map(fingerprint).collect();
     let stats = restarted.stats();
@@ -105,7 +113,10 @@ fn summaries_are_byte_identical_across_cold_warm_and_store_restart() {
         stats.cache_misses, 0,
         "a restart over the same corpus must recompute nothing"
     );
-    assert!(stats.store_hits > 0, "the store tier must serve the restart");
+    assert!(
+        stats.store_hits > 0,
+        "the store tier must serve the restart"
+    );
     assert_eq!(
         stats.store_hits + stats.dedup_hits + stats.memory_hits,
         sources.len() as u64
@@ -122,8 +133,14 @@ fn summaries_are_byte_identical_across_cold_warm_and_store_restart() {
     }
 
     for (i, cold_fp) in cold.iter().enumerate() {
-        assert_eq!(cold_fp, &populate_fp[i], "cold vs store-writing run, program {i}");
-        assert_eq!(cold_fp, &warm[i], "cold vs warm in-memory pass, program {i}");
+        assert_eq!(
+            cold_fp, &populate_fp[i],
+            "cold vs store-writing run, program {i}"
+        );
+        assert_eq!(
+            cold_fp, &warm[i],
+            "cold vs warm in-memory pass, program {i}"
+        );
         assert_eq!(cold_fp, &restored[i], "cold vs store restart, program {i}");
     }
 }
@@ -193,7 +210,9 @@ fn poisoned_results_persist_across_the_store() {
 
     let restarted = AnalysisSession::new(options)
         .with_store(Arc::new(SummaryStore::open(dir.path()).expect("reopen")));
-    let served = restarted.analyze_source(&source).expect("served from store");
+    let served = restarted
+        .analyze_source(&source)
+        .expect("served from store");
     let stats = restarted.stats();
     assert_eq!((stats.store_hits, stats.cache_misses), (1, 0));
     assert!(
@@ -245,7 +264,10 @@ fn concurrent_reader_sees_a_live_writers_appends() {
     });
 
     assert_eq!(reader.entries(), sources.len());
-    assert!(reader.diagnostics().is_empty(), "no torn reads under a live writer");
+    assert!(
+        reader.diagnostics().is_empty(),
+        "no torn reads under a live writer"
+    );
     // Everything the reader indexed decodes and matches the writer's session.
     let checker = AnalysisSession::new(options).with_store(Arc::new(reader));
     for source in &sources {

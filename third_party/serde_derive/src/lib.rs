@@ -23,12 +23,10 @@ fn expand(input: TokenStream) -> Result<TokenStream, String> {
     let name = loop {
         match tokens.get(i) {
             None => return Err("derive(Serialize): no struct found".into()),
-            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
-                match tokens.get(i + 1) {
-                    Some(TokenTree::Ident(name)) => break name.to_string(),
-                    _ => return Err("derive(Serialize): struct has no name".into()),
-                }
-            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => match tokens.get(i + 1) {
+                Some(TokenTree::Ident(name)) => break name.to_string(),
+                _ => return Err("derive(Serialize): struct has no name".into()),
+            },
             Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
                 return Err("derive(Serialize) subset: enums are not supported".into());
             }

@@ -32,6 +32,13 @@ fn ablation(c: &mut Criterion) {
                 ..InferOptions::default()
             },
         ),
+        (
+            "no-orbit-enrichment",
+            InferOptions {
+                orbit_enrichment: false,
+                ..InferOptions::default()
+            },
+        ),
     ];
     for (name, options) in configs {
         group.bench_with_input(BenchmarkId::new("foo", name), &options, |b, options| {

@@ -1,6 +1,8 @@
 //! Ablation study over the design choices of the inference engine:
 //! abductive case splitting, semantic base-case inference, lexicographic measures,
-//! the multiphase/max ranking domain, and closed recurrent-set synthesis.
+//! the multiphase/max ranking domain, closed recurrent-set synthesis, and
+//! orbit-harvested recurrent-set enrichment (whose row shows the drift-family
+//! `U → N` conversions: sum-boundary recurrent sets no other source finds).
 //!
 //! With `--json` the table is emitted as JSON only (the CI smoke test contract).
 
@@ -39,6 +41,10 @@ fn main() {
         recurrent: false,
         ..InferOptions::default()
     });
+    let no_orbit = profile(InferOptions {
+        orbit_enrichment: false,
+        ..InferOptions::default()
+    });
     struct Named<'a>(&'static str, &'a HipTntPlus);
     impl Analyzer for Named<'_> {
         fn name(&self) -> &'static str {
@@ -54,6 +60,7 @@ fn main() {
     let no_lex = Named("no lexicographic", &no_lex);
     let no_multiphase = Named("no multiphase/max", &no_multiphase);
     let no_recurrent = Named("no recurrent-set", &no_recurrent);
+    let no_orbit = Named("no orbit-enrichment", &no_orbit);
     let tools: Vec<&dyn Analyzer> = vec![
         &full,
         &no_split,
@@ -61,6 +68,7 @@ fn main() {
         &no_lex,
         &no_multiphase,
         &no_recurrent,
+        &no_orbit,
     ];
     let table = Table::build(&tools, &suites);
     if std::env::args().any(|a| a == "--json") {

@@ -29,6 +29,9 @@ pub struct InferOptions {
     /// Closed recurrent-set synthesis as the non-termination fall-back
     /// (see [`SolveOptions::recurrent`]).
     pub recurrent: bool,
+    /// Orbit-enriched recurrent-set synthesis, staged after the abductive
+    /// splitter is exhausted (see [`SolveOptions::orbit_enrichment`]).
+    pub orbit_enrichment: bool,
     /// Re-verify the inferred specifications (the paper's re-checking step).
     pub validate: bool,
     /// Deterministic work budget in simplex pivots (see [`SolveOptions::work_budget`]).
@@ -36,6 +39,9 @@ pub struct InferOptions {
     /// Upper bound on the total number of inferred cases
     /// (see [`SolveOptions::max_total_cases`]).
     pub max_total_cases: usize,
+    /// Quota of abductive splits per root case family
+    /// (see [`SolveOptions::max_splits_per_family`]).
+    pub max_splits_per_family: usize,
 }
 
 impl Default for InferOptions {
@@ -50,9 +56,11 @@ impl Default for InferOptions {
             multiphase: true,
             max_phases: 3,
             recurrent: true,
+            orbit_enrichment: true,
             validate: true,
             work_budget: solve_defaults.work_budget,
             max_total_cases: solve_defaults.max_total_cases,
+            max_splits_per_family: solve_defaults.max_splits_per_family,
         }
     }
 }
@@ -68,8 +76,10 @@ impl InferOptions {
             multiphase: self.multiphase,
             max_phases: self.max_phases,
             recurrent: self.recurrent,
+            orbit_enrichment: self.orbit_enrichment,
             work_budget: self.work_budget,
             max_total_cases: self.max_total_cases,
+            max_splits_per_family: self.max_splits_per_family,
         }
     }
 }

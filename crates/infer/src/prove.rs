@@ -30,6 +30,12 @@ pub struct ProveOptions {
     /// non-termination fall-back when the obligation-coverage proof of
     /// `prove_NonTerm` fails, and as the validation fall-back for `Loop` cases.
     pub recurrent: bool,
+    /// Allow orbit-enriched recurrent-set synthesis
+    /// ([`prove_nonterm_recurrent_enriched`]): candidate atoms harvested from
+    /// concrete orbit simulation ([`tnt_solver::orbit`]) augment the guard/cube
+    /// pool. Staged strictly after the abductive splitter's candidates are
+    /// exhausted; requires [`ProveOptions::recurrent`].
+    pub orbit_enrichment: bool,
 }
 
 impl Default for ProveOptions {
@@ -41,6 +47,7 @@ impl Default for ProveOptions {
             multiphase: true,
             max_phases: 3,
             recurrent: true,
+            orbit_enrichment: true,
         }
     }
 }
@@ -618,6 +625,55 @@ pub fn prove_nonterm_recurrent(
     if !options.recurrent || scc.len() != 1 {
         return None;
     }
+    prove_nonterm_recurrent_with(scc, graph, obligations, theta, assumed_false, false)
+}
+
+/// Orbit-enriched recurrent-set synthesis: [`prove_nonterm_recurrent`] with
+/// the candidate pool augmented by atoms harvested from concrete orbit
+/// simulation ([`tnt_solver::orbit::harvest`]) over the same seeded
+/// valuations.
+///
+/// The enrichment reaches divergence regions delimited by an inequality that
+/// appears in no guard (the additive drift `x' = x + y, y' = y + 1` guarded
+/// only by `x ≥ 0` needs the guard-less `y ≥ 0`), which the guard/cube pool
+/// can never supply. It is deliberately a *separate* entry point: the solver
+/// stages it strictly after the abductive splitter's candidates are
+/// exhausted, so the cheap syntactic passes keep first claim on every case
+/// and the enrichment only pays its simulation and LP cost on cases nothing
+/// else can decide. Soundness is unchanged — harvested atoms are candidates
+/// only, certified by the same Farkas closure checks, sample self-check and
+/// exit-obligation coverage as the guard-atom pass.
+pub fn prove_nonterm_recurrent_enriched(
+    scc: &[String],
+    graph: &ReachGraph,
+    obligations: &[Obligation],
+    theta: &Theta,
+    options: &ProveOptions,
+    assumed_false: &BTreeSet<String>,
+) -> Option<RecurrentOutcome> {
+    if !options.recurrent || !options.orbit_enrichment || scc.len() != 1 {
+        return None;
+    }
+    prove_nonterm_recurrent_with(scc, graph, obligations, theta, assumed_false, true)
+}
+
+/// Steps per simulated orbit in the enriched pass. A bounded transient can
+/// take up to the sampled value range (`-16..17`) to drain — e.g. `x` shrinking
+/// by 1 per step from 16 before the exit fires — so the horizon must exceed
+/// twice that range or such terminating orbits would pollute the harvest tails
+/// with atoms that only hold transiently. 36 steps leaves the tail (the second
+/// half) strictly past any rate-1 drain of the sample range, while drifting
+/// values stay far from overflow.
+const ORBIT_STEPS: usize = 36;
+
+fn prove_nonterm_recurrent_with(
+    scc: &[String],
+    graph: &ReachGraph,
+    obligations: &[Obligation],
+    theta: &Theta,
+    assumed_false: &BTreeSet<String>,
+    enrich: bool,
+) -> Option<RecurrentOutcome> {
     let pre = &scc[0];
     let vars = theta.vars_of_pre(pre)?.to_vec();
     let post = theta.post_of_pre(pre)?.clone();
@@ -675,42 +731,65 @@ pub fn prove_nonterm_recurrent(
                     .collect()
             })
             .collect();
-    let set = problem.synthesize(&candidates, &samples)?;
-    if !problem.closed_on_samples(&set, &samples) {
-        return None;
-    }
-    // Exit coverage: under `S`, the case's post-predicate must be unreachable.
-    // Same obligation discipline as `prove_nonterm`, with `S` strengthening the
-    // context of every obligation targeting this post.
-    let region = region_of(&set.atoms);
-    for obligation in obligations.iter().filter(|o| o.target_post == post) {
-        let context = region
-            .clone()
-            .and2(obligation.ctx.clone())
-            .and2(obligation.mu.clone());
-        let (has_items, usable) = usable_guards(obligation, scc, theta, assumed_false);
-        if !has_items {
-            // Base-case exit: must already be infeasible inside the region.
-            if sat::is_sat(&context) {
-                return None;
+    if enrich {
+        let mut enriched = false;
+        for atom in tnt_solver::orbit::harvest(&problem, &samples, ORBIT_STEPS) {
+            if over_formals(&atom) && !candidates.contains(&atom) {
+                candidates.push(atom);
+                enriched = true;
             }
-            continue;
         }
-        if !entail::entails(&context, &Formula::or(usable)) {
+        // Callers stage the enriched pass strictly after the guard-pool pass
+        // has failed; with no new atoms the outcome cannot differ, so skip
+        // the re-synthesis instead of re-paying its LP cost.
+        if !enriched {
             return None;
         }
     }
-    let remainder = if entail::entails(&guard, &region) {
-        Vec::new()
-    } else {
-        remainder_of(&set.atoms)
-    };
-    Some(RecurrentOutcome {
-        pre: pre.clone(),
-        set,
-        region,
-        remainder,
-    })
+    // Ranked iteration, most general region first: an over-general set (e.g.
+    // one that is transition-closed but lets the base-case exit fire) fails
+    // the coverage checks below, and the next certified set takes its place.
+    // This is the region scoring that keeps enriched atoms from carving a
+    // needlessly small slab when a larger certified region also works.
+    for set in problem.synthesize_ranked(&candidates, &samples) {
+        if !problem.closed_on_samples(&set, &samples) {
+            continue;
+        }
+        // Exit coverage: under `S`, the case's post-predicate must be
+        // unreachable. Same obligation discipline as `prove_nonterm`, with `S`
+        // strengthening the context of every obligation targeting this post.
+        let region = region_of(&set.atoms);
+        let covered = obligations
+            .iter()
+            .filter(|o| o.target_post == post)
+            .all(|obligation| {
+                let context = region
+                    .clone()
+                    .and2(obligation.ctx.clone())
+                    .and2(obligation.mu.clone());
+                let (has_items, usable) = usable_guards(obligation, scc, theta, assumed_false);
+                if !has_items {
+                    // Base-case exit: must already be infeasible inside the region.
+                    return !sat::is_sat(&context);
+                }
+                entail::entails(&context, &Formula::or(usable))
+            });
+        if !covered {
+            continue;
+        }
+        let remainder = if entail::entails(&guard, &region) {
+            Vec::new()
+        } else {
+            remainder_of(&set.atoms)
+        };
+        return Some(RecurrentOutcome {
+            pre: pre.clone(),
+            set,
+            region,
+            remainder,
+        });
+    }
+    None
 }
 
 /// Abductive inference of a strengthening condition `α` over `vars` such that

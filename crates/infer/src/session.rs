@@ -88,15 +88,17 @@ impl InferOptions {
             multiphase,
             max_phases,
             recurrent,
+            orbit_enrichment,
             validate,
             work_budget,
             max_total_cases,
+            max_splits_per_family,
         } = self;
         format!(
             "it={max_iterations};bc={enable_base_case};cs={enable_case_split};\
              lex={lexicographic};lc={max_lex_components};mp={multiphase};\
-             ph={max_phases};rec={recurrent};val={validate};wb={work_budget};\
-             tc={max_total_cases}"
+             ph={max_phases};rec={recurrent};oe={orbit_enrichment};val={validate};\
+             wb={work_budget};tc={max_total_cases};sf={max_splits_per_family}"
         )
     }
 }

@@ -2,12 +2,12 @@
 //! inferred definitions.
 
 use crate::prove::{
-    prove_nonterm, prove_nonterm_assuming, prove_nonterm_recurrent, prove_term,
-    prove_term_conditional, split, ProveOptions,
+    prove_nonterm, prove_nonterm_assuming, prove_nonterm_recurrent,
+    prove_nonterm_recurrent_enriched, prove_term, prove_term_conditional, split, ProveOptions,
 };
 use crate::specialize::{specialize_post, specialize_pre, EdgeTarget, ReachGraph};
 use crate::theta::{CaseState, Theta};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use tnt_logic::{entail, qe, simplify, Formula};
 use tnt_verify::hoare::ProgramAnalysis;
 
@@ -34,6 +34,12 @@ pub struct SolveOptions {
     /// Enable closed recurrent-set synthesis as the non-termination fall-back
     /// (and during validation of `Loop` cases).
     pub recurrent: bool,
+    /// Enable orbit-enriched recurrent-set synthesis: candidate atoms harvested
+    /// from concrete orbit simulation augment the guard/cube pool, fired only
+    /// after the abductive splitter's candidates are exhausted. Requires
+    /// [`SolveOptions::recurrent`]. Its work is accounted separately in
+    /// [`SolveStats::orbit_work`].
+    pub orbit_enrichment: bool,
     /// Deterministic work budget, counted in *work units*: simplex pivots plus DNF
     /// cubes produced (the two super-linear cores of the back-end). When the
     /// refinement loop has spent more than this, remaining unknown cases are left
@@ -41,12 +47,30 @@ pub struct SolveOptions {
     /// [`SolveStats::budget_exhausted`] is set — the analyzer's equivalent of the
     /// paper's T/O outcome, counted in solver work rather than wall-clock time so
     /// results stay reproducible.
+    ///
+    /// Historically this sat at `20_000` because the budget was the only thing
+    /// cutting the abductive splitter's weakest-precondition spiral. With
+    /// [`SolveOptions::max_splits_per_family`] capping that spiral
+    /// structurally, no corpus program needs more than a few thousand units —
+    /// except orbit-enriched recurrent-set synthesis on conserved-drift loops,
+    /// which legitimately spends a few hundred thousand units certifying a
+    /// fitted region. The default is sized to let that pass finish, leaving
+    /// the budget as a safety net for genuinely pathological inputs.
     pub work_budget: u64,
     /// Upper bound on the total number of cases across all definitions. Abductive
     /// case splitting stops refining once the store reaches this size, preventing
     /// the exponential blow-up of repeated splits on programs (e.g. gcd-style
     /// loops) whose termination argument is outside the affine fragment.
     pub max_total_cases: usize,
+    /// Deterministic quota of abductive splits per *root case family* (a case
+    /// and everything later split off from it). On drift programs whose
+    /// divergence boundary is not affine-reachable, the abductive splitter's
+    /// weakest-precondition fall-back yields an unbounded chain of "survives
+    /// one more step" slabs; the quota is the point at which its candidates
+    /// are declared exhausted for that family, which both keeps such programs
+    /// at a clean `Unknown` (rather than burning the whole work budget into a
+    /// T/O) and is the staging trigger for the orbit-enriched pass.
+    pub max_splits_per_family: usize,
 }
 
 impl Default for SolveOptions {
@@ -60,8 +84,10 @@ impl Default for SolveOptions {
             multiphase: true,
             max_phases: 3,
             recurrent: true,
-            work_budget: 20_000,
+            orbit_enrichment: true,
+            work_budget: 600_000,
             max_total_cases: 64,
+            max_splits_per_family: 6,
         }
     }
 }
@@ -75,6 +101,7 @@ impl SolveOptions {
             multiphase: self.multiphase,
             max_phases: self.max_phases,
             recurrent: self.recurrent,
+            orbit_enrichment: self.orbit_enrichment,
         }
     }
 }
@@ -90,8 +117,15 @@ pub struct SolveStats {
     pub ranking_attempts: usize,
     /// Number of non-termination proof attempts.
     pub nonterm_attempts: usize,
+    /// Number of orbit-enriched recurrent-set synthesis attempts (the staged
+    /// pass that fires once the abductive splitter is exhausted).
+    pub orbit_attempts: usize,
     /// Work units (simplex pivots + DNF cubes) spent by this run.
     pub work: u64,
+    /// The slice of [`SolveStats::work`] spent inside orbit-enriched synthesis
+    /// attempts — the enrichment's own work accounting, so its cost is
+    /// attributable separately from the cheap syntactic passes.
+    pub orbit_work: u64,
     /// `true` when the run stopped early because [`SolveOptions::work_budget`] or
     /// [`SolveOptions::max_total_cases`] was exhausted (the deterministic T/O).
     pub budget_exhausted: bool,
@@ -163,6 +197,11 @@ pub fn solve(analysis: &ProgramAnalysis, options: &SolveOptions) -> (Theta, Solv
         stats.work = work_units().wrapping_sub(work_start);
         stats.work > options.work_budget
     };
+    // Abductive splits applied so far per root case family, charged against
+    // [`SolveOptions::max_splits_per_family`]. Only the abductive splitter is
+    // charged: splits carved out by the conditional-termination and
+    // recurrent-set provers resolve a region outright and cannot chain.
+    let mut family_splits: BTreeMap<String, usize> = BTreeMap::new();
     'outer: for iteration in 0..options.max_iterations {
         stats.iterations = iteration + 1;
         if theta.all_resolved() {
@@ -275,12 +314,24 @@ pub fn solve(analysis: &ProgramAnalysis, options: &SolveOptions) -> (Theta, Solv
             if options.enable_case_split && !outcome.splits.is_empty() {
                 let mut split_applied = false;
                 for (pre, conditions) in outcome.splits {
+                    // Per-family quota: a family that has used up its splits is
+                    // treated as having no splitter candidates left, so control
+                    // falls through to the orbit-enriched pass below.
+                    let Some(root) = theta.case_of_pre(&pre).map(|(r, _)| r.to_string()) else {
+                        continue;
+                    };
+                    if family_splits.get(&root).copied().unwrap_or(0)
+                        >= options.max_splits_per_family
+                    {
+                        continue;
+                    }
                     let guard = theta.guard_of_pre(&pre).cloned().unwrap_or(Formula::True);
                     let parts = split(&conditions, &guard);
                     if parts.len() < 2 {
                         continue;
                     }
                     stats.case_splits += 1;
+                    *family_splits.entry(root).or_insert(0) += 1;
                     theta.split_case(&pre, parts.into_iter().map(|p| (p, None)).collect());
                     split_applied = true;
                 }
@@ -288,6 +339,39 @@ pub fn solve(analysis: &ProgramAnalysis, options: &SolveOptions) -> (Theta, Solv
                     // Restart with the refined definitions (line 11 of Fig. 6); the
                     // restart re-enters the iteration loop, so `progressed` need not
                     // be updated here.
+                    continue 'outer;
+                }
+            }
+            // Orbit-enriched recurrent-set synthesis: staged strictly last,
+            // once the abductive splitter's candidates are exhausted — the
+            // cheap syntactic passes above keep first claim on every case, and
+            // the simulation + enlarged LP cost is paid only on cases nothing
+            // else decides. Work spent here is accounted separately so the
+            // enrichment's cost stays attributable.
+            if prove_options.orbit_enrichment && prove_options.recurrent && scc.len() == 1 {
+                stats.orbit_attempts += 1;
+                let orbit_start = work_units();
+                let enriched = prove_nonterm_recurrent_enriched(
+                    &scc,
+                    &graph,
+                    &obligations,
+                    &theta,
+                    &prove_options,
+                    &BTreeSet::new(),
+                );
+                stats.orbit_work = stats
+                    .orbit_work
+                    .wrapping_add(work_units().wrapping_sub(orbit_start));
+                if let Some(rec) = enriched {
+                    if rec.remainder.is_empty() {
+                        theta.resolve(&rec.pre, CaseState::Loop);
+                        progressed = true;
+                        continue;
+                    }
+                    stats.case_splits += 1;
+                    let mut parts = vec![(rec.region, Some(CaseState::Loop))];
+                    parts.extend(rec.remainder.into_iter().map(|f| (f, None)));
+                    theta.split_case(&rec.pre, parts);
                     continue 'outer;
                 }
             }
@@ -434,6 +518,9 @@ fn validate_within_budget(analysis: &ProgramAnalysis, theta: &Theta, budget: u64
                 // produced by that prover may not be re-derivable through the
                 // obligation-coverage argument. The re-synthesized set must
                 // cover the *whole* case guard, which is what the store claims.
+                // The orbit-enriched variant is the last link of the chain,
+                // mirroring the solver's staging: a `Loop` case decided by
+                // harvested atoms is only re-derivable with the same pool.
                 let rec = prove_nonterm_recurrent(
                     scc,
                     &graph,
@@ -441,7 +528,17 @@ fn validate_within_budget(analysis: &ProgramAnalysis, theta: &Theta, budget: u64
                     &resolved_theta,
                     &options,
                     &loop_posts,
-                );
+                )
+                .or_else(|| {
+                    prove_nonterm_recurrent_enriched(
+                        scc,
+                        &graph,
+                        &obligations,
+                        &resolved_theta,
+                        &options,
+                        &loop_posts,
+                    )
+                });
                 if !rec.map(|o| o.remainder.is_empty()).unwrap_or(false) {
                     return false;
                 }

@@ -33,6 +33,11 @@
 //! and failed analyses produce `{"id":…,"status":"error","error":"…"}` — the
 //! loop never dies on a bad request, and a panicking analysis is isolated by
 //! the session's per-program `catch_unwind` machinery.
+//!
+//! Request lines over the size cap ([`DEFAULT_MAX_REQUEST_BYTES`], overridden
+//! with [`Server::with_max_request_bytes`] / `tnt-serve --max-request-bytes`)
+//! are rejected with an error response before being parsed, so their `id` is
+//! `null`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,10 +50,16 @@ use tnt_infer::{
     AnalysisSession, BatchEntry, CacheTier, InferOptions, SessionStats, SummaryBackend,
 };
 
+/// The default cap on one request line, in bytes (4 MiB). Large enough for
+/// any real program text, small enough that a runaway or adversarial client
+/// cannot make the daemon buffer an unbounded line before parsing it.
+pub const DEFAULT_MAX_REQUEST_BYTES: usize = 4 * 1024 * 1024;
+
 /// A shared analysis server: one session (with its in-memory cache and
 /// optional persistent store tier) serving any number of sequential requests.
 pub struct Server {
     session: AnalysisSession,
+    max_request_bytes: usize,
 }
 
 impl Server {
@@ -56,12 +67,21 @@ impl Server {
     pub fn new(options: InferOptions) -> Server {
         Server {
             session: AnalysisSession::new(options),
+            max_request_bytes: DEFAULT_MAX_REQUEST_BYTES,
         }
     }
 
     /// Attaches a persistent summary store as the session's second cache tier.
     pub fn with_store(mut self, store: Arc<dyn SummaryBackend>) -> Server {
         self.session = self.session.with_store(store);
+        self
+    }
+
+    /// Caps the size of a single request line. Oversized lines get a normal
+    /// `status: "error"` response (with a `null` id — the request is rejected
+    /// before it is parsed) and the loop keeps serving.
+    pub fn with_max_request_bytes(mut self, bytes: usize) -> Server {
+        self.max_request_bytes = bytes;
         self
     }
 
@@ -73,6 +93,16 @@ impl Server {
     /// Handles one request line, returning exactly one JSON response line
     /// (without the trailing newline). Never panics on any input.
     pub fn handle_line(&self, line: &str) -> String {
+        if line.len() > self.max_request_bytes {
+            return error_response(
+                &Value::Null,
+                &format!(
+                    "request line is {} bytes, over the {}-byte limit",
+                    line.len(),
+                    self.max_request_bytes
+                ),
+            );
+        }
         let request = match serde_json::from_str(line) {
             Ok(v) => v,
             Err(err) => {
@@ -364,6 +394,59 @@ mod tests {
         assert_eq!(
             parse(lines[2]).get("status").and_then(Value::as_str),
             Some("error")
+        );
+    }
+
+    #[test]
+    fn oversized_requests_are_rejected_before_parsing() {
+        let server = Server::new(InferOptions::default()).with_max_request_bytes(128);
+        // A request that would be valid, inflated past the cap by whitespace
+        // padding: the rejection must fire on raw line length, not content.
+        let padding = " ".repeat(256);
+        let line = format!(
+            "{{\"id\": 3, {padding}\"source\": \"{}\"}}",
+            TERMINATING.replace('"', "\\\"")
+        );
+        let resp = parse(&server.handle_line(&line));
+        assert_eq!(resp.get("status").and_then(Value::as_str), Some("error"));
+        assert!(
+            resp.get("id").unwrap().is_null(),
+            "the line is rejected unparsed, so the id cannot be echoed"
+        );
+        let message = resp.get("error").and_then(Value::as_str).unwrap();
+        assert!(
+            message.contains("128-byte limit"),
+            "the error names the limit: {message}"
+        );
+        // The same request within the cap still works — and the loop as a
+        // whole survives an oversized line between two good ones.
+        let ok = format!(
+            "{{\"id\": 3, \"source\": \"{}\"}}",
+            TERMINATING.replace('"', "\\\"")
+        );
+        let mut output = Vec::new();
+        let capped = Server::new(InferOptions::default()).with_max_request_bytes(128);
+        serve(
+            &capped,
+            format!("{ok}\n{line}\n{ok}\n").as_bytes(),
+            &mut output,
+        )
+        .expect("serve loop");
+        let text = String::from_utf8(output).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            parse(lines[0]).get("status").and_then(Value::as_str),
+            Some("ok")
+        );
+        assert_eq!(
+            parse(lines[1]).get("status").and_then(Value::as_str),
+            Some("error")
+        );
+        assert_eq!(
+            parse(lines[2]).get("status").and_then(Value::as_str),
+            Some("ok"),
+            "the loop keeps serving after an oversized line"
         );
     }
 

@@ -1,24 +1,27 @@
 //! `tnt-serve` — the analysis daemon.
 //!
 //! ```text
-//! tnt-serve [--store DIR]
+//! tnt-serve [--store DIR] [--max-request-bytes N]
 //! ```
 //!
 //! Reads line-delimited JSON requests from stdin and writes one JSON response
 //! line per request to stdout (see the `tnt_serve` crate docs for the
 //! protocol). With `--store DIR`, inferred summaries persist to the
-//! append-only store in `DIR` and warm-start every later run.
+//! append-only store in `DIR` and warm-start every later run. Request lines
+//! over `--max-request-bytes` (default 4 MiB) get an error response instead
+//! of being parsed.
 
 use std::io::{self, Write};
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use tnt_infer::InferOptions;
-use tnt_serve::{serve, Server};
+use tnt_serve::{serve, Server, DEFAULT_MAX_REQUEST_BYTES};
 use tnt_store::SummaryStore;
 
 fn main() -> ExitCode {
     let mut store_dir: Option<String> = None;
+    let mut max_request_bytes = DEFAULT_MAX_REQUEST_BYTES;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -29,11 +32,25 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--max-request-bytes" => match args.next().as_deref().map(str::parse::<usize>) {
+                Some(Ok(bytes)) if bytes > 0 => max_request_bytes = bytes,
+                Some(_) => {
+                    eprintln!("tnt-serve: --max-request-bytes requires a positive integer");
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("tnt-serve: --max-request-bytes requires a byte count argument");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
-                println!("usage: tnt-serve [--store DIR]");
+                println!("usage: tnt-serve [--store DIR] [--max-request-bytes N]");
                 println!();
                 println!("Reads {{\"id\": …, \"source\": \"…\"}} requests, one per stdin line,");
                 println!("and streams one JSON result line per request to stdout.");
+                println!(
+                    "Request lines over N bytes (default {DEFAULT_MAX_REQUEST_BYTES}) are rejected."
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -43,7 +60,7 @@ fn main() -> ExitCode {
         }
     }
 
-    let mut server = Server::new(InferOptions::default());
+    let mut server = Server::new(InferOptions::default()).with_max_request_bytes(max_request_bytes);
     let store = match store_dir {
         Some(dir) => match SummaryStore::open(&dir) {
             Ok(store) => {

@@ -27,8 +27,13 @@
 //!   re-certified by sound concrete checks before use.
 //! * [`recurrent`] — closed recurrent-set synthesis for non-termination
 //!   certificates: a polyhedral set with an entry state, closed under every
-//!   transition, Houdini-shrunk from sample-pruned candidate atoms and
-//!   certified per transition through the same Farkas implication check.
+//!   transition, Houdini-shrunk from sample-pruned candidate atoms, certified
+//!   per transition through the same Farkas implication check, and scored by
+//!   region generality when several inductive subsets certify.
+//! * [`orbit`] — DynamiTe-style candidate harvesting for the recurrent-set
+//!   synthesis: multi-step concrete orbit simulation from seeded valuations,
+//!   collecting sign atoms, pairwise differences and fitted affine
+//!   combinations that hold along every sampled divergent orbit.
 //!
 //! The crate is independent of the logic front-end: variables are plain strings and
 //! constraints are affine expressions in `≥ 0` normal form ([`linear::Ineq`]).
@@ -62,6 +67,7 @@ pub mod lexicographic;
 pub mod linear;
 pub mod lp;
 pub mod multiphase;
+pub mod orbit;
 pub mod ranking;
 pub mod rational;
 pub mod recurrent;

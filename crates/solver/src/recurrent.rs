@@ -135,11 +135,142 @@ impl RecurrentProblem {
     /// candidates before any LP runs, and the first sample inside the final
     /// set becomes the entry witness (with an LP feasibility fall-back when no
     /// sample qualifies).
+    ///
+    /// When several inductive subsets certify, the *most general* one is
+    /// returned (see [`Self::synthesize_ranked`] for the scoring rule); this
+    /// is what keeps enriched candidate pools from carving a needlessly small
+    /// region out of the divergent space.
     pub fn synthesize(
         &self,
         candidates: &[Ineq],
         samples: &[BTreeMap<String, Rational>],
     ) -> Option<RecurrentSet> {
+        self.synthesize_ranked(candidates, samples)
+            .into_iter()
+            .next()
+    }
+
+    /// Synthesizes every certified recurrent set along the greedy
+    /// generalization chain and returns them ranked most-general-first.
+    ///
+    /// The Houdini loop yields the *greatest* inductive atom subset — which,
+    /// being the largest conjunction, defines the **smallest** region. That is
+    /// the wrong preference when the candidate pool is rich: extra inductive
+    /// atoms (e.g. both `x - y ≥ 0` and `y - x ≥ 0`) carve a needlessly small
+    /// slab out of the divergent region. This method therefore walks the
+    /// generalization chain above the Houdini result: at each step it tries
+    /// every single-atom removal that keeps the remainder inductive, records
+    /// *every* certified successor (their Farkas checks are already paid), and
+    /// recurses along the best-scoring one. Recording the siblings matters:
+    /// callers discharge side conditions (e.g. exit coverage) against the
+    /// ranked list, and the set that passes them is often a sibling of the
+    /// greedy path — on `x' = y, y' = y + 1` the path itself runs through
+    /// half-plane sets that let the exit fire, while the passing full region
+    /// `x ≥ 0 ∧ y ≥ 0` is a recorded sibling. Every certified set is
+    /// returned, ordered by the deterministic score:
+    ///
+    /// 1. sample-coverage count, descending (more samples inside = more
+    ///    general);
+    /// 2. atom count, ascending (fewer conjuncts = weaker region);
+    /// 3. canonical atom order (rendered-text comparison) as the final
+    ///    tie-break.
+    ///
+    /// Callers that must discharge additional side conditions (e.g. the exit
+    /// obligation coverage of a non-termination proof) iterate the ranked
+    /// list and take the first set that passes; the empty list means no
+    /// candidate subset certifies at all.
+    pub fn synthesize_ranked(
+        &self,
+        candidates: &[Ineq],
+        samples: &[BTreeMap<String, Rational>],
+    ) -> Vec<RecurrentSet> {
+        let Some(greatest) = self.greatest_inductive_subset(candidates, samples) else {
+            return Vec::new();
+        };
+        // Greedy generalization: collect the chain of inductive subsets from
+        // the Houdini result towards weaker (larger) regions, one atom at a
+        // time. The chain has at most |greatest| elements, so the extra
+        // Farkas work stays quadratic in the (already pruned) atom count.
+        let mut chain: Vec<Vec<Ineq>> = vec![greatest.clone()];
+        let mut current = greatest;
+        while current.len() > 1 {
+            if simplex::deadline_exceeded() {
+                break;
+            }
+            let mut successors: Vec<Vec<Ineq>> = Vec::new();
+            for index in 0..current.len() {
+                let mut reduced = current.clone();
+                reduced.remove(index);
+                if self.is_inductive(&reduced) {
+                    successors.push(reduced);
+                }
+            }
+            chain.extend(successors.iter().cloned());
+            let Some(best) = successors
+                .into_iter()
+                .min_by(|a, b| self.compare_score(a, b, samples))
+            else {
+                break;
+            };
+            chain.push(best.clone());
+            current = best;
+        }
+        chain.sort_by(|a, b| self.compare_score(a, b, samples));
+        chain.dedup();
+        chain
+            .into_iter()
+            .filter_map(|atoms| {
+                let entry = samples
+                    .iter()
+                    .find(|s| atoms.iter().all(|a| a.holds(s)))
+                    .map(|s| self.restrict(s))
+                    .or_else(|| self.lp_witness(&atoms))?;
+                Some(RecurrentSet { atoms, entry })
+            })
+            .collect()
+    }
+
+    /// Number of samples inside the conjunction of `atoms` — the generality
+    /// measure of the region scoring (deterministic for a fixed sample set).
+    pub fn sample_coverage(&self, atoms: &[Ineq], samples: &[BTreeMap<String, Rational>]) -> usize {
+        samples
+            .iter()
+            .filter(|s| atoms.iter().all(|a| a.holds(s)))
+            .count()
+    }
+
+    /// The deterministic score order of the ranked synthesis: coverage
+    /// descending, then atom count ascending, then canonical atom order.
+    fn compare_score(
+        &self,
+        a: &[Ineq],
+        b: &[Ineq],
+        samples: &[BTreeMap<String, Rational>],
+    ) -> std::cmp::Ordering {
+        let coverage_a = self.sample_coverage(a, samples);
+        let coverage_b = self.sample_coverage(b, samples);
+        coverage_b
+            .cmp(&coverage_a)
+            .then_with(|| a.len().cmp(&b.len()))
+            .then_with(|| {
+                let key = |atoms: &[Ineq]| -> Vec<String> {
+                    let mut rendered: Vec<String> =
+                        atoms.iter().map(|atom| atom.to_string()).collect();
+                    rendered.sort();
+                    rendered
+                };
+                key(a).cmp(&key(b))
+            })
+    }
+
+    /// The sample pre-filter plus Houdini shrink shared by the synthesis entry
+    /// points: the greatest inductive subset of the in-scope candidates, or
+    /// `None` when it is empty (or the work deadline expired).
+    fn greatest_inductive_subset(
+        &self,
+        candidates: &[Ineq],
+        samples: &[BTreeMap<String, Rational>],
+    ) -> Option<Vec<Ineq>> {
         if self.transitions.is_empty() {
             return None;
         }
@@ -203,13 +334,7 @@ impl RecurrentProblem {
                 None => break,
             }
         }
-
-        let entry = samples
-            .iter()
-            .find(|s| atoms.iter().all(|a| a.holds(s)))
-            .map(|s| self.restrict(s))
-            .or_else(|| self.lp_witness(&atoms))?;
-        Some(RecurrentSet { atoms, entry })
+        Some(atoms)
     }
 
     /// Re-certifies that the conjunction of `atoms` is closed under every
@@ -258,7 +383,7 @@ impl RecurrentProblem {
     /// whose update values flow through intermediate `aux = e` bindings: a
     /// plain evaluation would read those auxiliaries as zero and disable (or
     /// mis-simulate) the step.
-    fn concrete_step(
+    pub(crate) fn concrete_step(
         &self,
         transition: &RecurrentTransition,
         state: &BTreeMap<String, Rational>,

@@ -195,7 +195,9 @@ pub fn encode_result(result: &AnalysisResult) -> Vec<u8> {
     put_u64(&mut out, result.stats.case_splits as u64);
     put_u64(&mut out, result.stats.ranking_attempts as u64);
     put_u64(&mut out, result.stats.nonterm_attempts as u64);
+    put_u64(&mut out, result.stats.orbit_attempts as u64);
     put_u64(&mut out, result.stats.work);
+    put_u64(&mut out, result.stats.orbit_work);
     put_u8(&mut out, result.stats.budget_exhausted as u8);
     put_u32(&mut out, result.summaries.len() as u32);
     for (label, summary) in &result.summaries {
@@ -429,7 +431,9 @@ pub fn decode_result(bytes: &[u8]) -> Result<AnalysisResult, DecodeError> {
         case_splits: r.u64()? as usize,
         ranking_attempts: r.u64()? as usize,
         nonterm_attempts: r.u64()? as usize,
+        orbit_attempts: r.u64()? as usize,
         work: r.u64()?,
+        orbit_work: r.u64()?,
         budget_exhausted: r.bool()?,
     };
     let summary_count = r.count(8)?;
@@ -517,7 +521,9 @@ mod tests {
                 case_splits: 1,
                 ranking_attempts: 9,
                 nonterm_attempts: 2,
+                orbit_attempts: 1,
                 work: 12345,
+                orbit_work: 678,
                 budget_exhausted: true,
             },
             validated: false,

@@ -51,7 +51,8 @@ use tnt_infer::{AnalysisResult, ProgramKey, SummaryBackend};
 pub const STORE_FILE: &str = "summaries.tnt";
 
 /// File magic: format name + version. Bump on any layout change.
-pub const HEADER: &[u8; 8] = b"TNTSUM01";
+/// (02: `SolveStats` gained the orbit-enrichment attempt/work counters.)
+pub const HEADER: &[u8; 8] = b"TNTSUM02";
 
 /// Per-record frame magic, a cheap framing sanity check when skipping a
 /// checksum-bad record.
@@ -509,7 +510,9 @@ mod tests {
                 case_splits: 0,
                 ranking_attempts: 2,
                 nonterm_attempts: 0,
+                orbit_attempts: 0,
                 work,
+                orbit_work: 0,
                 budget_exhausted: poisoned,
             },
             validated: !poisoned,

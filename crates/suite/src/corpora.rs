@@ -67,8 +67,9 @@ fn take(programs: &mut Vec<BenchProgram>, target: usize) {
 
 /// The `crafted` suite: 39 small programs exercising conditional termination,
 /// definite non-termination, recursion and a few deliberately hard shapes —
-/// including the aperiodic nimkar pattern (closed recurrent-set synthesis) and
-/// a gcd variant with diverging trap branches (relaxed conditional prover).
+/// including the aperiodic nimkar pattern (closed recurrent-set synthesis), a
+/// gcd variant with diverging trap branches (relaxed conditional prover), and
+/// the drift family whose recurrent sets only orbit-harvested sum atoms find.
 pub fn crafted() -> Suite {
     let mut rng = SmallRng::seed_from_u64(0xC0FFEE);
     let mut programs = Vec::new();
@@ -89,7 +90,7 @@ pub fn crafted() -> Suite {
             i % 2,
         ));
     }
-    for i in 0..5i128 {
+    for i in 0..4i128 {
         programs.push(templates::converge(
             &format!("crafted_converge_{i}"),
             rng.gen_range(-5i128..6),
@@ -99,9 +100,12 @@ pub fn crafted() -> Suite {
             1 + (i % 2),
         ));
     }
-    for i in 0..3i128 {
+    for i in 0..2i128 {
         programs.push(templates::nondet_loop(&format!("crafted_nondet_{i}")));
     }
+    programs.push(templates::drift_additive("crafted_drift_additive", 0));
+    programs.push(templates::drift_coupled("crafted_drift_coupled", 1));
+    programs.push(templates::drift_lagged("crafted_drift_lagged", 1));
     programs.push(templates::nimkar_aperiodic("crafted_nimkar"));
     programs.push(templates::infinite_loop("crafted_infinite"));
     programs.push(templates::guarded_gcd_with_trap("crafted_gcd_trap"));
@@ -175,12 +179,15 @@ pub fn crafted_lit() -> Suite {
             1 + (i % 3),
         ));
     }
-    for i in 0..11i128 {
+    for i in 0..8i128 {
         programs.push(templates::converge(
             &format!("lit_converge_{i}"),
             rng.gen_range(-8i128..9),
         ));
     }
+    programs.push(templates::drift_additive("lit_drift_additive", 1));
+    programs.push(templates::drift_coupled("lit_drift_coupled", 2));
+    programs.push(templates::drift_lagged("lit_drift_lagged", 2));
     take(&mut programs, 150);
     Suite {
         category: Category::CraftedLit,
@@ -318,6 +325,12 @@ pub fn integer_loops() -> Suite {
     for i in 0..8i128 {
         programs.push(templates::nondet_loop(&format!("loop_nondet_{i}")));
     }
+    // The drift family precedes the overflow tail: the generator deliberately
+    // overproduces and `take` keeps the first 221, so anything pushed after
+    // this point only backfills if an earlier group shrinks.
+    programs.push(templates::drift_additive("loop_drift_additive", 2));
+    programs.push(templates::drift_coupled("loop_drift_coupled", 3));
+    programs.push(templates::drift_lagged("loop_drift_lagged", 3));
     for i in 0..7i128 {
         programs.push(templates::phase_change_hard(
             &format!("loop_phase_{i}"),

@@ -253,6 +253,48 @@ void main(int j, int k)
     BenchProgram::new(name, source, Expected::NonTerminating, false, false)
 }
 
+/// Additive drift with compounding satellites: `x` moves by `y + z` while both
+/// satellites double every iteration, so the loop diverges exactly on the
+/// non-affine-reachable boundary `y + z ≥ 0` (with `x ≥ bound`). No single
+/// variable's sign decides divergence and the abductive splitter's
+/// weakest-precondition slabs never coincide with the sum boundary, so the
+/// recurrent set is only found by orbit-harvested sum atoms — the headline
+/// `U → N` conversion of the `no orbit-enrichment` ablation row.
+pub fn drift_additive(name: &str, bound: i128) -> BenchProgram {
+    let source = format!(
+        "void main(int x, int y, int z)\n\
+         {{ while (x >= {bound}) {{ x = x + y + z; y = y + y; z = z + z; }} }}"
+    );
+    BenchProgram::new(name, source, Expected::NonTerminating, false, false)
+}
+
+/// Conserved-sum drift: `x` moves by `y + z` while a transfer of `transfer`
+/// per step keeps `y + z` exactly invariant. Divergence is again decided by
+/// the conserved sum (`y + z ≥ 0` keeps `x` from ever sinking), which only the
+/// orbit harvest's fitted affine combinations recover; certifying the fitted
+/// region is the most expensive enrichment in the corpus (a few hundred
+/// thousand work units), which the default work budget is sized to cover.
+pub fn drift_coupled(name: &str, transfer: i128) -> BenchProgram {
+    let source = format!(
+        "void main(int x, int y, int z)\n\
+         {{ while (x >= 0) {{ x = x + y + z; y = y - {transfer}; z = z + {transfer}; }} }}"
+    );
+    BenchProgram::new(name, source, Expected::NonTerminating, false, false)
+}
+
+/// Lagged drift: `x` is *replaced* by `y + z` each iteration while `y` climbs,
+/// so after one step the guard is decided by the previous sum. The very first
+/// abductive split already lands the divergence region, making this the
+/// control member of the drift family: a definite `N` with or without orbit
+/// enrichment.
+pub fn drift_lagged(name: &str, step: i128) -> BenchProgram {
+    let source = format!(
+        "void main(int x, int y, int z)\n\
+         {{ while (x >= 0) {{ x = y + z; y = y + {step}; }} }}"
+    );
+    BenchProgram::new(name, source, Expected::NonTerminating, false, false)
+}
+
 /// A non-deterministically controlled loop: some execution runs forever.
 pub fn nondet_loop(name: &str) -> BenchProgram {
     let source = "void main(int x) { while (nondet() > 0) { x = x + 1; } }";
@@ -364,6 +406,9 @@ mod tests {
             skipping_counter("n5", 1),
             nondet_loop("n6"),
             nimkar_aperiodic("n7"),
+            drift_additive("n8", 0),
+            drift_coupled("n9", 1),
+            drift_lagged("n10", 1),
             list_traversal("h1"),
             list_append("h2"),
             circular_append("h3"),
@@ -387,6 +432,15 @@ mod tests {
         assert!(recursive_countdown("x", 0, 1).uses_recursion);
         assert!(!countdown("x", 1).uses_recursion);
         assert_eq!(nimkar_aperiodic("x").expected, Expected::NonTerminating);
+        for drift in [
+            drift_additive("x", 0),
+            drift_coupled("x", 1),
+            drift_lagged("x", 1),
+        ] {
+            assert_eq!(drift.expected, Expected::NonTerminating);
+            assert!(!drift.uses_heap);
+            assert!(!drift.uses_recursion);
+        }
         assert_eq!(
             guarded_gcd_with_trap("x").expected,
             Expected::Terminating,

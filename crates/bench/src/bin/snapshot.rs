@@ -45,8 +45,11 @@ struct SuiteSnapshot {
 ///
 /// Schema v2: `cache_hits` is kept for back-compat as the sum of the three
 /// per-tier counters (`dedup_hits` + `memory_hits` + `store_hits`), which make
-/// a hit's provenance attributable in `BENCH_*.json` deltas. This binary runs
-/// without a persistent store, so `store_hits`/`store_writes` are zero here.
+/// a hit's provenance attributable in `BENCH_*.json` deltas. Schema v3 adds
+/// `method_hits`, the method-tier replay count — deliberately *not* part of
+/// the `cache_hits` sum, since a method hit rides inside a program-tier miss.
+/// This binary runs without a persistent store, so `store_hits`/`store_writes`
+/// are zero here.
 #[derive(Serialize)]
 struct SessionSnapshot {
     programs: u64,
@@ -54,6 +57,7 @@ struct SessionSnapshot {
     dedup_hits: u64,
     memory_hits: u64,
     store_hits: u64,
+    method_hits: u64,
     store_writes: u64,
     cache_misses: u64,
     work: u64,
@@ -153,7 +157,7 @@ fn main() {
     let memory = session.cache_memory();
     let legacy = memory.legacy_resident_bytes();
     let snapshot = Snapshot {
-        schema: "hiptnt-bench-snapshot/v2",
+        schema: "hiptnt-bench-snapshot/v3",
         tool: "hiptnt+",
         total_programs: suites.iter().map(|s| s.programs).sum(),
         total_work: suites.iter().map(|s| s.work).sum(),
@@ -166,6 +170,7 @@ fn main() {
             dedup_hits: stats.dedup_hits,
             memory_hits: stats.memory_hits,
             store_hits: stats.store_hits,
+            method_hits: stats.method_hits,
             store_writes: stats.store_writes,
             cache_misses: stats.cache_misses,
             work: stats.work,

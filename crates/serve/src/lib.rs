@@ -19,7 +19,8 @@
 //!
 //! ```text
 //! {"id":1,"status":"ok","verdict":"Y","precondition":null,"cached":false,
-//!  "tier":null,"work":63,"poisoned":false,"validated":true,"elapsed_s":0.002,
+//!  "tier":null,"method_hits":0,"work":63,"poisoned":false,"validated":true,
+//!  "elapsed_s":0.002,
 //!  "summaries":{"f":"case {\n  x <= 0 -> requires Term ensures true;\n  ...}"}}
 //! ```
 //!
@@ -28,8 +29,11 @@
 //! inferred input precondition as `{"kind":"terminating"|"non-terminating",
 //! "region":"…"}` — or `null` for a plain verdict, so the schema is stable —
 //! `tier` names the cache tier that served a repeat (`"dedup"`, `"memory"`,
-//! `"store"`), and `summaries` maps each summary label to its rendered
-//! case-based specification. Malformed requests
+//! `"store"`), `method_hits` counts the method-granular summaries replayed
+//! from the per-method record tier while computing this program (an edited
+//! program is a program-tier miss, but its unedited methods are served from
+//! their cached records), and `summaries` maps each summary label to its
+//! rendered case-based specification. Malformed requests
 //! and failed analyses produce `{"id":…,"status":"error","error":"…"}` — the
 //! loop never dies on a bad request, and a panicking analysis is isolated by
 //! the session's per-program `catch_unwind` machinery.
@@ -90,6 +94,13 @@ impl Server {
         self.session.stats()
     }
 
+    /// Drains any diagnostics the persistent store accumulated (corrupt
+    /// frames skipped, unreadable records) since the last call. Empty when no
+    /// store is attached or nothing went wrong.
+    pub fn take_diagnostics(&self) -> Vec<String> {
+        self.session.store_diagnostics()
+    }
+
     /// Handles one request line, returning exactly one JSON response line
     /// (without the trailing newline). Never panics on any input.
     pub fn handle_line(&self, line: &str) -> String {
@@ -125,7 +136,10 @@ impl Server {
 }
 
 /// Runs the serve loop: one response line per request line, flushed as it
-/// lands so a driving process can pipeline requests interactively.
+/// lands so a driving process can pipeline requests interactively. Store
+/// diagnostics (corrupt frames, unreadable records) are drained after every
+/// request and logged to stderr, so corruption surfaces next to the request
+/// that tripped over it rather than only at shutdown.
 pub fn serve(server: &Server, input: impl BufRead, mut output: impl Write) -> io::Result<()> {
     for line in input.lines() {
         let line = line?;
@@ -136,6 +150,9 @@ pub fn serve(server: &Server, input: impl BufRead, mut output: impl Write) -> io
         output.write_all(response.as_bytes())?;
         output.write_all(b"\n")?;
         output.flush()?;
+        for note in server.take_diagnostics() {
+            eprintln!("tnt-serve: store: {note}");
+        }
     }
     Ok(())
 }
@@ -185,6 +202,8 @@ fn render_response(id: &Value, entry: &BatchEntry) -> String {
         Some(CacheTier::Store) => out.push_str("\"store\""),
         None => out.push_str("null"),
     }
+    out.push_str(",\"method_hits\":");
+    out.push_str(&entry.method_hits.to_string());
     out.push_str(",\"work\":");
     out.push_str(&entry.work.to_string());
     out.push_str(",\"poisoned\":");
@@ -288,6 +307,7 @@ mod tests {
         assert_eq!(resp.get("verdict").and_then(Value::as_str), Some("Y"));
         assert_eq!(resp.get("cached").and_then(Value::as_bool), Some(false));
         assert!(resp.get("tier").unwrap().is_null());
+        assert_eq!(resp.get("method_hits").and_then(Value::as_f64), Some(0.0));
         assert!(resp.get("work").and_then(Value::as_f64).unwrap() > 0.0);
         let summaries = resp.get("summaries").unwrap().as_object().unwrap();
         assert!(summaries.keys().any(|k| k == "f"));
@@ -307,10 +327,33 @@ mod tests {
         assert_eq!(warm.get("cached").and_then(Value::as_bool), Some(true));
         assert_eq!(warm.get("tier").and_then(Value::as_str), Some("memory"));
         assert_eq!(warm.get("verdict").and_then(Value::as_str), Some("N"));
+        assert_eq!(warm.get("method_hits").and_then(Value::as_f64), Some(0.0));
         // The warm response is identical in everything but the cache fields.
         assert_eq!(cold.get("summaries"), warm.get("summaries"));
         assert_eq!(cold.get("work"), warm.get("work"));
         assert_eq!(server.stats().memory_hits, 1);
+    }
+
+    #[test]
+    fn edited_method_is_served_from_the_method_tier() {
+        let server = Server::new(InferOptions::default());
+        let original = "void leaf(int x) { if (x > 0) { leaf(x - 1); } else { return; } } \
+                        void root(int x, int y) \
+                        { leaf(x); if (y > 0) { root(x, y - 1); } else { return; } }";
+        let edited = original.replace("y > 0", "y > 7");
+        let request = |src: &str| format!("{{\"id\": 1, \"source\": \"{src}\"}}");
+        let cold = parse(&server.handle_line(&request(original)));
+        assert_eq!(cold.get("method_hits").and_then(Value::as_f64), Some(0.0));
+        let warm = parse(&server.handle_line(&request(&edited)));
+        assert_eq!(
+            warm.get("cached").and_then(Value::as_bool),
+            Some(false),
+            "an edited program is a program-tier miss"
+        );
+        assert!(
+            warm.get("method_hits").and_then(Value::as_f64).unwrap() >= 1.0,
+            "the unedited leaf is replayed from its method record"
+        );
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! Command-line contract tests for the `tnt-serve` binary: flag validation
+//! must fail fast with a non-zero exit and a clear message on stderr, never
+//! fall through to the serve loop with a silently-defaulted setting.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn tnt_serve() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tnt-serve"))
+}
+
+#[test]
+fn non_numeric_max_request_bytes_exits_nonzero_with_a_clear_message() {
+    for bad in ["lots", "4MiB", "-1", "1.5", ""] {
+        let output = tnt_serve()
+            .args(["--max-request-bytes", bad])
+            .stdin(Stdio::null())
+            .output()
+            .expect("spawn tnt-serve");
+        assert!(
+            !output.status.success(),
+            "--max-request-bytes {bad:?} must be rejected"
+        );
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            stderr.contains("--max-request-bytes requires a positive integer"),
+            "stderr names the flag and the constraint for {bad:?}: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn zero_max_request_bytes_exits_nonzero() {
+    let output = tnt_serve()
+        .args(["--max-request-bytes", "0"])
+        .stdin(Stdio::null())
+        .output()
+        .expect("spawn tnt-serve");
+    assert_eq!(
+        output.status.code(),
+        Some(2),
+        "a zero cap would reject every request, so it is a usage error"
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("--max-request-bytes requires a positive integer"));
+}
+
+#[test]
+fn missing_max_request_bytes_argument_exits_nonzero() {
+    let output = tnt_serve()
+        .arg("--max-request-bytes")
+        .stdin(Stdio::null())
+        .output()
+        .expect("spawn tnt-serve");
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("--max-request-bytes requires a byte count argument"));
+}
+
+#[test]
+fn unknown_arguments_exit_nonzero() {
+    let output = tnt_serve()
+        .arg("--no-such-flag")
+        .stdin(Stdio::null())
+        .output()
+        .expect("spawn tnt-serve");
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("unknown argument"));
+}
+
+#[test]
+fn valid_max_request_bytes_is_accepted_and_enforced() {
+    let mut child = tnt_serve()
+        .args(["--max-request-bytes", "64"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn tnt-serve");
+    let oversized = format!(
+        "{{\"id\": 1, \"source\": \"{}\"}}\n",
+        "void f() { return; } ".repeat(8)
+    );
+    assert!(oversized.len() > 64);
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(oversized.as_bytes())
+        .expect("write request");
+    let output = child.wait_with_output().expect("tnt-serve exits");
+    assert!(output.status.success(), "the loop survives oversized lines");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let line = stdout.lines().next().expect("one response line");
+    assert!(line.contains("\"status\":\"error\""), "{line}");
+    assert!(line.contains("64-byte limit"), "{line}");
+}

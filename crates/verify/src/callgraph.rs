@@ -4,39 +4,43 @@
 //! once, bottom-up: callees before callers. This module builds the call graph of a
 //! program and returns its strongly connected components in reverse topological order
 //! (Tarjan's algorithm already emits them that way).
+//!
+//! Nodes are interned [`Symbol`]s (`Copy`, O(1) equality/hash); `Symbol`'s `Ord`
+//! compares the resolved strings, so every map, set and sorted SCC below is ordered
+//! exactly as the old `String`-keyed graph was.
 
 use std::collections::{BTreeMap, BTreeSet};
 use tnt_lang::ast::Program;
+use tnt_lang::Symbol;
 
 /// The call graph of a program (methods with bodies; calls to primitives are edges to
 /// nodes without outgoing edges).
 #[derive(Clone, Debug, Default)]
 pub struct CallGraph {
-    nodes: Vec<String>,
-    edges: BTreeMap<String, BTreeSet<String>>,
-    sccs: Vec<Vec<String>>,
-    scc_of: BTreeMap<String, usize>,
+    nodes: Vec<Symbol>,
+    edges: BTreeMap<Symbol, BTreeSet<Symbol>>,
+    sccs: Vec<Vec<Symbol>>,
+    scc_of: BTreeMap<Symbol, usize>,
 }
 
 impl CallGraph {
     /// Builds the call graph and its SCC condensation.
     pub fn build(program: &Program) -> CallGraph {
-        let nodes: Vec<String> = program.methods.iter().map(|m| m.name.to_string()).collect();
-        let mut edges: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        let nodes: Vec<Symbol> = program.methods.iter().map(|m| m.name).collect();
+        let mut edges: BTreeMap<Symbol, BTreeSet<Symbol>> = BTreeMap::new();
         for method in &program.methods {
-            let callees: BTreeSet<String> = program
+            let callees: BTreeSet<Symbol> = program
                 .callees(method)
                 .into_iter()
-                .map(|c| c.to_string())
                 .filter(|c| nodes.contains(c))
                 .collect();
-            edges.insert(method.name.to_string(), callees);
+            edges.insert(method.name, callees);
         }
         let sccs = tarjan(&nodes, &edges);
         let mut scc_of = BTreeMap::new();
         for (i, scc) in sccs.iter().enumerate() {
-            for n in scc {
-                scc_of.insert(n.clone(), i);
+            for &n in scc {
+                scc_of.insert(n, i);
             }
         }
         CallGraph {
@@ -48,81 +52,86 @@ impl CallGraph {
     }
 
     /// The strongly connected components in bottom-up (callees-first) order.
-    pub fn sccs(&self) -> &[Vec<String>] {
+    pub fn sccs(&self) -> &[Vec<Symbol>] {
         &self.sccs
+    }
+
+    /// The index of the SCC containing `name` within [`CallGraph::sccs`].
+    pub fn scc_index(&self, name: Symbol) -> Option<usize> {
+        self.scc_of.get(&name).copied()
     }
 
     /// Returns `true` if the two methods are mutually recursive (same SCC).
     /// A method is in the same SCC as itself, so direct recursion also counts.
-    pub fn same_scc(&self, a: &str, b: &str) -> bool {
-        match (self.scc_of.get(a), self.scc_of.get(b)) {
+    pub fn same_scc(&self, a: Symbol, b: Symbol) -> bool {
+        match (self.scc_of.get(&a), self.scc_of.get(&b)) {
             (Some(x), Some(y)) => x == y,
             _ => false,
         }
     }
 
     /// The direct callees of a method.
-    pub fn callees(&self, name: &str) -> impl Iterator<Item = &str> + '_ {
+    pub fn callees(&self, name: Symbol) -> impl Iterator<Item = Symbol> + '_ {
         self.edges
-            .get(name)
+            .get(&name)
             .into_iter()
-            .flat_map(|s| s.iter().map(|x| x.as_str()))
+            .flat_map(|s| s.iter().copied())
     }
 
     /// Returns `true` if the method is (directly or mutually) recursive.
-    pub fn is_recursive(&self, name: &str) -> bool {
-        let Some(&scc) = self.scc_of.get(name) else {
+    pub fn is_recursive(&self, name: Symbol) -> bool {
+        let Some(&scc) = self.scc_of.get(&name) else {
             return false;
         };
         self.sccs[scc].len() > 1
             || self
                 .edges
-                .get(name)
-                .map(|e| e.contains(name))
+                .get(&name)
+                .map(|e| e.contains(&name))
                 .unwrap_or(false)
     }
 
     /// All known method names.
-    pub fn methods(&self) -> &[String] {
+    pub fn methods(&self) -> &[Symbol] {
         &self.nodes
     }
 }
 
-fn tarjan(nodes: &[String], edges: &BTreeMap<String, BTreeSet<String>>) -> Vec<Vec<String>> {
+fn tarjan(nodes: &[Symbol], edges: &BTreeMap<Symbol, BTreeSet<Symbol>>) -> Vec<Vec<Symbol>> {
     struct State<'a> {
-        edges: &'a BTreeMap<String, BTreeSet<String>>,
+        edges: &'a BTreeMap<Symbol, BTreeSet<Symbol>>,
         index: usize,
-        indices: BTreeMap<String, usize>,
-        lowlink: BTreeMap<String, usize>,
-        on_stack: BTreeSet<String>,
-        stack: Vec<String>,
-        sccs: Vec<Vec<String>>,
+        indices: BTreeMap<Symbol, usize>,
+        lowlink: BTreeMap<Symbol, usize>,
+        on_stack: BTreeSet<Symbol>,
+        stack: Vec<Symbol>,
+        sccs: Vec<Vec<Symbol>>,
     }
 
-    fn strongconnect(v: &str, st: &mut State<'_>) {
-        st.indices.insert(v.to_string(), st.index);
-        st.lowlink.insert(v.to_string(), st.index);
+    fn strongconnect(v: Symbol, st: &mut State<'_>) {
+        st.indices.insert(v, st.index);
+        st.lowlink.insert(v, st.index);
         st.index += 1;
-        st.stack.push(v.to_string());
-        st.on_stack.insert(v.to_string());
+        st.stack.push(v);
+        st.on_stack.insert(v);
 
-        let successors: Vec<String> = st
+        let successors: Vec<Symbol> = st
             .edges
-            .get(v)
-            .map(|s| s.iter().cloned().collect())
+            .get(&v)
+            .map(|s| s.iter().copied().collect())
             .unwrap_or_default();
         for w in successors {
             if !st.indices.contains_key(&w) {
-                strongconnect(&w, st);
-                let low = st.lowlink[&w].min(st.lowlink[v]);
-                st.lowlink.insert(v.to_string(), low);
+                strongconnect(w, st);
+                let low = st.lowlink[&w].min(st.lowlink[&v]);
+                st.lowlink.insert(v, low);
             } else if st.on_stack.contains(&w) {
-                let low = st.indices[&w].min(st.lowlink[v]);
-                st.lowlink.insert(v.to_string(), low);
+                let low = st.indices[&w].min(st.lowlink[&v]);
+                st.lowlink.insert(v, low);
             }
         }
 
-        if st.lowlink[v] == st.indices[v] {
+        if st.lowlink[&v] == st.indices[&v] {
             let mut scc = Vec::new();
             loop {
                 let w = st.stack.pop().expect("non-empty stack");
@@ -147,8 +156,8 @@ fn tarjan(nodes: &[String], edges: &BTreeMap<String, BTreeSet<String>>) -> Vec<V
         stack: Vec::new(),
         sccs: Vec::new(),
     };
-    for n in nodes {
-        if !state.indices.contains_key(n) {
+    for &n in nodes {
+        if !state.indices.contains_key(&n) {
             strongconnect(n, &mut state);
         }
     }
@@ -160,6 +169,10 @@ mod tests {
     use super::*;
     use tnt_lang::parse_program;
 
+    fn sym(name: &str) -> Symbol {
+        Symbol::intern(name)
+    }
+
     #[test]
     fn direct_recursion_detected() {
         let program = parse_program(
@@ -168,10 +181,10 @@ mod tests {
         )
         .unwrap();
         let graph = CallGraph::build(&program);
-        assert!(graph.is_recursive("f"));
-        assert!(!graph.is_recursive("g"));
-        assert!(graph.same_scc("f", "f"));
-        assert!(!graph.same_scc("f", "g"));
+        assert!(graph.is_recursive(sym("f")));
+        assert!(!graph.is_recursive(sym("g")));
+        assert!(graph.same_scc(sym("f"), sym("f")));
+        assert!(!graph.same_scc(sym("f"), sym("g")));
     }
 
     #[test]
@@ -183,10 +196,10 @@ mod tests {
         )
         .unwrap();
         let graph = CallGraph::build(&program);
-        assert!(graph.same_scc("even", "odd"));
-        assert!(!graph.same_scc("main", "even"));
-        assert!(graph.is_recursive("even"));
-        assert!(!graph.is_recursive("main"));
+        assert!(graph.same_scc(sym("even"), sym("odd")));
+        assert!(!graph.same_scc(sym("main"), sym("even")));
+        assert!(graph.is_recursive(sym("even")));
+        assert!(!graph.is_recursive(sym("main")));
     }
 
     #[test]
@@ -200,13 +213,7 @@ mod tests {
         let graph = CallGraph::build(&program);
         let order: Vec<usize> = ["c", "b", "a"]
             .iter()
-            .map(|m| {
-                graph
-                    .sccs()
-                    .iter()
-                    .position(|scc| scc.contains(&m.to_string()))
-                    .unwrap()
-            })
+            .map(|m| graph.scc_index(sym(m)).unwrap())
             .collect();
         assert!(order[0] < order[1] && order[1] < order[2]);
     }
@@ -219,7 +226,7 @@ mod tests {
         )
         .unwrap();
         let graph = CallGraph::build(&program);
-        assert_eq!(graph.callees("a").collect::<Vec<_>>(), vec!["b"]);
+        assert_eq!(graph.callees(sym("a")).collect::<Vec<_>>(), vec![sym("b")]);
         assert_eq!(graph.methods().len(), 2);
     }
 }

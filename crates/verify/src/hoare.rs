@@ -22,6 +22,7 @@ use std::fmt;
 use tnt_heap::entail::consume;
 use tnt_heap::state::{HeapAtom, HeapState};
 use tnt_lang::ast::{Block, Expr, MethodDecl, Program, Stmt};
+use tnt_lang::Symbol;
 use tnt_logic::{entail, Constraint, Formula, Lin, Rational};
 
 /// An error produced by the verifier.
@@ -478,7 +479,10 @@ impl Exec<'_> {
         }
 
         let antecedent = self.scenario.temporal.clone();
-        let same_scc = self.graph.same_scc(&self.caller.name, callee_name);
+        let same_scc = self.graph.same_scc(
+            Symbol::intern(&self.caller.name),
+            Symbol::intern(callee_name),
+        );
 
         // Try the callee's scenarios in order.
         for scenario in &callee.scenarios {
